@@ -1,0 +1,95 @@
+// Experiment E4 (DESIGN.md): the value of Theorem 9's cycle-free
+// characterization (paper §5.2) — the polynomial checker vs the
+// exponential definitional oracle (§3.4), as the action tree grows.
+//
+// The oracle enumerates sibling permutations (the literal definition of
+// serializability); the Theorem 9 checker tests version compatibility
+// plus acyclicity of sibling-data. The crossover is brutal: a handful of
+// sibling groups already puts the oracle orders of magnitude behind.
+
+#include <benchmark/benchmark.h>
+
+#include "aat/aat.h"
+#include "aat/aat_algebra.h"
+#include "action/serializability.h"
+#include "algebra/algebra.h"
+#include "common/random.h"
+
+namespace {
+
+using rnt::ActionId;
+using rnt::ObjectId;
+using rnt::Rng;
+
+/// Builds a valid Moss execution with `tops` top-level transactions, each
+/// with `kids` accesses over `objects` shared objects, by random-running
+/// the level-2 algebra to quiescence.
+rnt::action::ActionTree MakeTree(int tops, int kids, int objects,
+                                 rnt::action::ActionRegistry& reg,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  for (int t = 0; t < tops; ++t) {
+    ActionId top = reg.NewAction(rnt::kRootAction);
+    for (int c = 0; c < kids; ++c) {
+      reg.NewAccess(top, static_cast<ObjectId>(rng.Below(objects)),
+                    rnt::action::Update::Add(1 + c));
+    }
+  }
+  rnt::aat::AatAlgebra alg(&reg);
+  auto run = rnt::algebra::RandomRun(
+      alg, [](const rnt::aat::Aat& s) { return rnt::aat::EventCandidates(s); },
+      rng, 10 * tops * (kids + 2));
+  return run.state;
+}
+
+void BM_Theorem9Checker(benchmark::State& state) {
+  int tops = static_cast<int>(state.range(0));
+  rnt::action::ActionRegistry reg;
+  rnt::action::ActionTree tree = MakeTree(tops, 3, 2, reg, 42);
+  bool result = false;
+  for (auto _ : state) {
+    result = rnt::aat::IsDataSerializable(tree);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["vertices"] = static_cast<double>(tree.size());
+  state.counters["serializable"] = result ? 1 : 0;
+}
+
+void BM_ExhaustiveOracle(benchmark::State& state) {
+  int tops = static_cast<int>(state.range(0));
+  rnt::action::ActionRegistry reg;
+  rnt::action::ActionTree tree = MakeTree(tops, 3, 2, reg, 42);
+  // The oracle decides the same property when constrained by the tree's
+  // data order.
+  rnt::action::DataOrder order;
+  for (ObjectId x : tree.TouchedObjects()) order[x] = tree.Datasteps(x);
+  rnt::action::OracleOptions opt;
+  opt.data_order = &order;
+  bool result = false;
+  for (auto _ : state) {
+    result = rnt::action::IsSerializable(tree, opt);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["vertices"] = static_cast<double>(tree.size());
+  state.counters["serializable"] = result ? 1 : 0;
+}
+
+void BM_RwChecker(benchmark::State& state) {
+  int tops = static_cast<int>(state.range(0));
+  rnt::action::ActionRegistry reg;
+  rnt::action::ActionTree tree = MakeTree(tops, 3, 2, reg, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rnt::aat::IsDataSerializableRw(tree));
+  }
+  state.counters["vertices"] = static_cast<double>(tree.size());
+}
+
+// The oracle's cost explodes with sibling-group count; cap it where a
+// single evaluation still finishes in reasonable time.
+BENCHMARK(BM_Theorem9Checker)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Arg(8);
+BENCHMARK(BM_ExhaustiveOracle)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6);
+BENCHMARK(BM_RwChecker)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Experiment E5 (DESIGN.md): the distributed algorithm's overhead is
+// knowledge propagation (paper §9) — action summaries moving through the
+// message buffer. The algebra leaves the propagation policy completely
+// free (any sub-summary, any time); this bench quantifies the two natural
+// policies as the cluster grows:
+//   lazy  — ship a summary only when a pending step needs the knowledge;
+//   eager — broadcast the doer's summary after every event.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "sim/dist_driver.h"
+
+namespace {
+
+using rnt::ActionId;
+using rnt::NodeId;
+using rnt::ObjectId;
+
+/// A cross-node workload: `tops` transactions, each with two
+/// subtransactions touching a private object and a shared object.
+void BuildProgram(rnt::action::ActionRegistry& reg, int tops, int objects,
+                  std::uint64_t seed) {
+  rnt::Rng rng(seed);
+  for (int t = 0; t < tops; ++t) {
+    ActionId top = reg.NewAction(rnt::kRootAction);
+    for (int c = 0; c < 2; ++c) {
+      ActionId sub = reg.NewAction(top);
+      reg.NewAccess(sub, static_cast<ObjectId>(rng.Below(objects)),
+                    rnt::action::Update::Add(1));
+      reg.NewAccess(sub, static_cast<ObjectId>(rng.Below(objects)),
+                    rnt::action::Update::Read());
+    }
+  }
+}
+
+void RunDriver(benchmark::State& state, rnt::sim::Propagation prop) {
+  NodeId k = static_cast<NodeId>(state.range(0));
+  rnt::action::ActionRegistry reg;
+  BuildProgram(reg, /*tops=*/12, /*objects=*/8, /*seed=*/5);
+  rnt::dist::Topology topo = rnt::dist::Topology::RoundRobin(&reg, k);
+  rnt::dist::DistAlgebra alg(&topo);
+  rnt::sim::DriverOptions opt;
+  opt.propagation = prop;
+  rnt::sim::DriverStats last{};
+  for (auto _ : state) {
+    auto run = rnt::sim::RunProgram(alg, opt);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    last = run->stats;
+    benchmark::DoNotOptimize(run->final_state);
+  }
+  state.counters["messages"] = static_cast<double>(last.messages);
+  state.counters["node_events"] = static_cast<double>(last.node_events);
+  state.counters["summary_entries"] =
+      static_cast<double>(last.summary_entries);
+  state.counters["msgs_per_event"] =
+      last.node_events == 0
+          ? 0.0
+          : static_cast<double>(last.messages) /
+                static_cast<double>(last.node_events);
+}
+
+void BM_DistLazy(benchmark::State& state) {
+  RunDriver(state, rnt::sim::Propagation::kLazy);
+}
+void BM_DistEager(benchmark::State& state) {
+  RunDriver(state, rnt::sim::Propagation::kEager);
+}
+
+BENCHMARK(BM_DistLazy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_DistEager)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

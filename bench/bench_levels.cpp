@@ -1,0 +1,170 @@
+// Experiment E6 (DESIGN.md): the proof stack is implementable — cost per
+// event at each of the paper's five levels of abstraction, and the price
+// of runtime refinement checking.
+//
+// Levels retain decreasing amounts of information (spec oracle >> version
+// sequences > latest values > distributed summaries), so events get
+// cheaper going down exactly as the paper's optimization story predicts:
+// level 1's domain check runs the exponential oracle, level 3 carries
+// whole access sequences, level 4 only values.
+
+#include <benchmark/benchmark.h>
+
+#include "aat/aat_algebra.h"
+#include "algebra/algebra.h"
+#include "common/random.h"
+#include "dist/dist_algebra.h"
+#include "orphan/orphan.h"
+#include "spec/spec_algebra.h"
+#include "valuemap/value_map_algebra.h"
+#include "versionmap/version_map_algebra.h"
+
+namespace {
+
+using rnt::ActionId;
+using rnt::ObjectId;
+using rnt::Rng;
+
+rnt::action::ActionRegistry MakeRegistry(int tops, std::uint64_t seed) {
+  Rng rng(seed);
+  rnt::action::ActionRegistry reg;
+  for (int t = 0; t < tops; ++t) {
+    ActionId top = reg.NewAction(rnt::kRootAction);
+    ActionId sub = reg.NewAction(top);
+    for (int c = 0; c < 2; ++c) {
+      reg.NewAccess(sub, static_cast<ObjectId>(rng.Below(3)),
+                    rnt::action::Update::Add(1));
+    }
+  }
+  return reg;
+}
+
+template <typename Alg, typename CandidateFn>
+void DriveLevel(benchmark::State& state, const Alg& alg, CandidateFn&& cand,
+                int steps) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Rng rng(99);
+    auto run = rnt::algebra::RandomRun(alg, cand, rng, steps);
+    events += run.events.size();
+    benchmark::DoNotOptimize(run.state);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+
+void BM_Level1Spec(benchmark::State& state) {
+  // Oracle-enforced spec: kept tiny (the C-check is exponential).
+  auto reg = MakeRegistry(2, 7);
+  rnt::spec::SpecAlgebra alg(&reg);
+  DriveLevel(state, alg,
+             [](const rnt::action::ActionTree& s) {
+               return rnt::spec::EventCandidates(s);
+             },
+             30);
+}
+
+void BM_Level2Aat(benchmark::State& state) {
+  auto reg = MakeRegistry(static_cast<int>(state.range(0)), 7);
+  rnt::aat::AatAlgebra alg(&reg);
+  DriveLevel(state, alg,
+             [](const rnt::aat::Aat& s) {
+               return rnt::aat::EventCandidates(s);
+             },
+             200);
+}
+
+void BM_Level2OrphanSafe(benchmark::State& state) {
+  // The orphan-safe strengthening: same events, but orphan performs must
+  // present realizable values — the enforcement cost of Argus-style
+  // orphan consistency at the specification level.
+  auto reg = MakeRegistry(static_cast<int>(state.range(0)), 7);
+  rnt::orphan::OrphanSafeAatAlgebra alg(&reg);
+  DriveLevel(state, alg,
+             [](const rnt::aat::Aat& s) {
+               return rnt::orphan::EventCandidates(s);
+             },
+             200);
+}
+
+void BM_Level3VersionMap(benchmark::State& state) {
+  auto reg = MakeRegistry(static_cast<int>(state.range(0)), 7);
+  rnt::versionmap::VersionMapAlgebra alg(&reg);
+  DriveLevel(state, alg,
+             [](const rnt::versionmap::VmState& s) {
+               return rnt::versionmap::EventCandidates(s);
+             },
+             200);
+}
+
+void BM_Level4ValueMap(benchmark::State& state) {
+  auto reg = MakeRegistry(static_cast<int>(state.range(0)), 7);
+  rnt::valuemap::ValueMapAlgebra alg(&reg);
+  DriveLevel(state, alg,
+             [](const rnt::valuemap::ValState& s) {
+               return rnt::valuemap::EventCandidates(s);
+             },
+             200);
+}
+
+void BM_Level5Distributed(benchmark::State& state) {
+  auto reg = MakeRegistry(static_cast<int>(state.range(0)), 7);
+  rnt::dist::Topology topo = rnt::dist::Topology::RoundRobin(&reg, 3);
+  rnt::dist::DistAlgebra alg(&topo);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Rng rng(99);
+    rnt::dist::DistEventCandidates cand(&alg, 99,
+                                        /*random_subsummaries=*/false);
+    auto run = rnt::algebra::RandomRun(alg, std::ref(cand), rng, 200);
+    events += run.events.size();
+    benchmark::DoNotOptimize(run.state);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+
+void BM_RefinementCheckedRun(benchmark::State& state) {
+  // A level-4 run with the level-3 witness maintained and eval(W) = V
+  // checked at every step: the cost of *executing the proof*.
+  auto reg = MakeRegistry(static_cast<int>(state.range(0)), 7);
+  rnt::valuemap::ValueMapAlgebra lower(&reg);
+  rnt::versionmap::VersionMapAlgebra upper(&reg);
+  Rng rng(99);
+  auto run = rnt::algebra::RandomRun(
+      lower,
+      [](const rnt::valuemap::ValState& s) {
+        return rnt::valuemap::EventCandidates(s);
+      },
+      rng, 200);
+  for (auto _ : state) {
+    rnt::Status st = rnt::algebra::CheckRefinement(
+        lower, upper,
+        std::span<const rnt::algebra::LockEvent>(run.events),
+        [](const rnt::algebra::LockEvent& e) {
+          return std::optional<rnt::algebra::LockEvent>(e);
+        },
+        [&](const rnt::valuemap::ValState& ls,
+            const rnt::versionmap::VmState& us) {
+          return rnt::valuemap::Eval(us.vmap, reg) == ls.vmap
+                     ? rnt::Status::Ok()
+                     : rnt::Status::Internal("eval mismatch");
+        });
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * run.events.size()));
+}
+
+BENCHMARK(BM_Level1Spec);
+BENCHMARK(BM_Level2Aat)->Arg(4)->Arg(16);
+BENCHMARK(BM_Level2OrphanSafe)->Arg(4)->Arg(16);
+BENCHMARK(BM_Level3VersionMap)->Arg(4)->Arg(16);
+BENCHMARK(BM_Level4ValueMap)->Arg(4)->Arg(16);
+BENCHMARK(BM_Level5Distributed)->Arg(4)->Arg(16);
+BENCHMARK(BM_RefinementCheckedRun)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Experiment E2 (DESIGN.md): failures are localized "within the closest
+// possible level of nesting" (paper §1) — the recovery-block payoff.
+//
+// Goodput under injected subtransaction failures. The nested engine
+// retries only the failed child; the flat baseline loses the whole
+// transaction and restarts from the top. As the per-child failure
+// probability grows (and with more children per transaction, i.e. more
+// work at risk), the flat engine's wasted work grows combinatorially —
+// the chance that *some* child fails approaches 1 — while the nested
+// engine's goodput decays gently.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/flat_engine.h"
+#include "txn/transaction_manager.h"
+#include "workload/workload.h"
+
+namespace {
+
+using rnt::workload::Params;
+using rnt::workload::Result;
+using rnt::workload::RunMixed;
+
+Params MakeParams(double fail_prob) {
+  Params p;
+  p.num_objects = 256;  // low contention: isolate the failure effect
+  p.children_per_txn = 6;
+  p.accesses_per_child = 2;
+  p.read_fraction = 0.3;
+  p.child_failure_prob = fail_prob;
+  p.max_child_retries = 5;
+  p.max_txn_attempts = 40;
+  p.work_ns_per_access = 50000;
+  return p;
+}
+
+constexpr int kWorkers = 2;
+constexpr int kTxnsPerWorker = 50;
+
+void Run(benchmark::State& state, bool nested) {
+  double fail_prob = static_cast<double>(state.range(0)) / 100.0;
+  Params p = MakeParams(fail_prob);
+  Result total;
+  for (auto _ : state) {
+    std::unique_ptr<rnt::txn::Engine> engine;
+    if (nested) {
+      engine = std::make_unique<rnt::txn::TransactionManager>();
+    } else {
+      engine = std::make_unique<rnt::baseline::FlatEngine>();
+    }
+    total.MergeFrom(RunMixed(*engine, p, kWorkers, kTxnsPerWorker, 23));
+  }
+  state.counters["commits_per_s"] = benchmark::Counter(
+      static_cast<double>(total.committed), benchmark::Counter::kIsRate);
+  // Wasted work: attempts beyond the first, per committed transaction.
+  state.counters["restart_overhead"] =
+      total.committed == 0
+          ? 0.0
+          : static_cast<double>(total.txn_attempts - total.committed) /
+                static_cast<double>(total.committed);
+  state.counters["child_retries_per_commit"] =
+      total.committed == 0
+          ? 0.0
+          : static_cast<double>(total.child_retries) /
+                static_cast<double>(total.committed);
+}
+
+void BM_NestedResilience(benchmark::State& state) { Run(state, true); }
+void BM_FlatResilience(benchmark::State& state) { Run(state, false); }
+
+BENCHMARK(BM_NestedResilience)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(35)
+    ->Arg(50)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+BENCHMARK(BM_FlatResilience)
+    ->Arg(0)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(35)
+    ->Arg(50)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

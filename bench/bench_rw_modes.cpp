@@ -1,0 +1,81 @@
+// Experiment E7 (DESIGN.md): the read/write extension the paper defers
+// to future work (§10) vs the single-mode variant it proves.
+//
+// Single-mode locking treats every access as exclusive, so even pure
+// readers serialize. With read/write modes, sibling readers share. The
+// gap should therefore grow with the read fraction and with worker count
+// — and vanish for write-only workloads, where the two lock managers
+// behave identically.
+
+#include <benchmark/benchmark.h>
+
+#include "txn/transaction_manager.h"
+#include "workload/workload.h"
+
+namespace {
+
+using rnt::workload::Params;
+using rnt::workload::Result;
+using rnt::workload::RunMixed;
+
+Params MakeParams(double read_fraction) {
+  Params p;
+  p.num_objects = 12;  // hot set: conflicts are common
+  p.zipf_theta = 0.6;
+  p.children_per_txn = 3;
+  p.accesses_per_child = 3;
+  p.read_fraction = read_fraction;
+  p.work_ns_per_access = 20000;
+  return p;
+}
+
+constexpr int kWorkers = 4;
+constexpr int kTxnsPerWorker = 30;
+
+void Run(benchmark::State& state, bool single_mode) {
+  double read_fraction = static_cast<double>(state.range(0)) / 100.0;
+  Params p = MakeParams(read_fraction);
+  Result total;
+  std::uint64_t waits = 0, deadlocks = 0, runs = 0;
+  for (auto _ : state) {
+    rnt::txn::TransactionManager::Options opt;
+    opt.single_mode_locks = single_mode;
+    rnt::txn::TransactionManager engine(opt);
+    total.MergeFrom(RunMixed(engine, p, kWorkers, kTxnsPerWorker, 31));
+    auto stats = engine.stats();
+    waits += stats.lock_waits;
+    deadlocks += stats.deadlock_aborts;
+    ++runs;
+  }
+  state.counters["txn_per_s"] = benchmark::Counter(
+      static_cast<double>(total.committed), benchmark::Counter::kIsRate);
+  state.counters["lock_waits"] =
+      static_cast<double>(waits) / static_cast<double>(runs);
+  state.counters["deadlock_aborts"] =
+      static_cast<double>(deadlocks) / static_cast<double>(runs);
+}
+
+void BM_ReadWriteLocks(benchmark::State& state) { Run(state, false); }
+void BM_SingleModeLocks(benchmark::State& state) { Run(state, true); }
+
+// Read fraction sweep: 0% (pure writes) to 95%.
+BENCHMARK(BM_ReadWriteLocks)
+    ->Arg(0)
+    ->Arg(50)
+    ->Arg(80)
+    ->Arg(95)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+BENCHMARK(BM_SingleModeLocks)
+    ->Arg(0)
+    ->Arg(50)
+    ->Arg(80)
+    ->Arg(95)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Quickstart: nested transactions with partial rollback.
+//
+// Demonstrates the core API of the RNT library — begin a top-level
+// transaction, spawn subtransactions, tolerate a failed child (the
+// paper's "recovery block" style), and commit the survivors atomically.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "txn/transaction_manager.h"
+
+using rnt::ObjectId;
+using rnt::Value;
+
+int main() {
+  rnt::txn::TransactionManager engine;
+
+  constexpr ObjectId kInventory = 0;
+  constexpr ObjectId kOrders = 1;
+  constexpr ObjectId kAuditLog = 2;
+
+  // Seed some committed state.
+  {
+    auto setup = engine.Begin();
+    setup->Put(kInventory, 100).ok();
+    setup->Put(kOrders, 0).ok();
+    if (!setup->Commit().ok()) {
+      std::puts("setup failed");
+      return 1;
+    }
+  }
+
+  // One business transaction: place an order. Each step runs as a
+  // subtransaction so a failure rolls back just that step.
+  auto order = engine.Begin();
+
+  // Step 1: decrement inventory.
+  {
+    auto step = order->BeginChild();
+    if (!step.ok()) return 1;
+    (*step)->Apply(kInventory, rnt::action::Update::Add(-1)).ok();
+    if (!(*step)->Commit().ok()) return 1;
+  }
+
+  // Step 2: append to the audit log — but the first attempt "fails".
+  // The beauty of nesting: aborting the child undoes *only* the child;
+  // the inventory decrement from step 1 survives untouched.
+  for (int attempt = 1;; ++attempt) {
+    auto step = order->BeginChild();
+    if (!step.ok()) return 1;
+    (*step)->Apply(kAuditLog, rnt::action::Update::Add(1)).ok();
+    if (attempt == 1) {
+      std::printf("attempt %d: simulated failure, rolling back the step\n",
+                  attempt);
+      (*step)->Abort().ok();
+      continue;  // recovery block: retry the step, not the transaction
+    }
+    if ((*step)->Commit().ok()) {
+      std::printf("attempt %d: audit step committed\n", attempt);
+      break;
+    }
+  }
+
+  // Step 3: record the order.
+  {
+    auto step = order->BeginChild();
+    if (!step.ok()) return 1;
+    (*step)->Apply(kOrders, rnt::action::Update::Add(1)).ok();
+    if (!(*step)->Commit().ok()) return 1;
+  }
+
+  if (!order->Commit().ok()) {
+    std::puts("order transaction failed");
+    return 1;
+  }
+
+  std::printf("committed: inventory=%lld orders=%lld audit=%lld\n",
+              static_cast<long long>(engine.ReadCommitted(kInventory)),
+              static_cast<long long>(engine.ReadCommitted(kOrders)),
+              static_cast<long long>(engine.ReadCommitted(kAuditLog)));
+
+  auto stats = engine.stats();
+  std::printf("engine stats: %llu begun, %llu committed, %llu aborted\n",
+              static_cast<unsigned long long>(stats.begun),
+              static_cast<unsigned long long>(stats.committed),
+              static_cast<unsigned long long>(stats.aborted));
+  return 0;
+}

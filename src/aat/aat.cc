@@ -1,0 +1,191 @@
+#include "aat/aat.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rnt::aat {
+
+std::vector<ActionId> VData(const Aat& t, ActionId a) {
+  const action::ActionRegistry& reg = t.registry();
+  ObjectId x = reg.Object(a);
+  std::vector<ActionId> out;
+  for (ActionId b : t.Datasteps(x)) {
+    if (b == a) break;  // data order = sequence order; predecessors only
+    if (t.IsVisibleTo(b, a)) out.push_back(b);
+  }
+  return out;
+}
+
+bool IsVersionCompatible(const Aat& t) {
+  const action::ActionRegistry& reg = t.registry();
+  for (ObjectId x : t.TouchedObjects()) {
+    for (ActionId a : t.Datasteps(x)) {
+      std::vector<ActionId> s = VData(t, a);
+      if (t.LabelOf(a) != action::ResultOf(reg, x, s)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Shared edge builder; `conflicts_only` skips read-read pairs (the
+/// read/write extension's relaxation).
+std::vector<SiblingDataEdge> BuildSiblingEdges(const Aat& t,
+                                               bool conflicts_only) {
+  const action::ActionRegistry& reg = t.registry();
+  std::vector<SiblingDataEdge> edges;
+  std::unordered_set<std::uint64_t> seen;
+  for (ObjectId x : t.TouchedObjects()) {
+    const auto& steps = t.Datasteps(x);
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      for (std::size_t j = i + 1; j < steps.size(); ++j) {
+        ActionId c = steps[i], d = steps[j];
+        if (conflicts_only && reg.UpdateOf(c).IsRead() &&
+            reg.UpdateOf(d).IsRead()) {
+          continue;
+        }
+        ActionId l = reg.Lca(c, d);
+        // Datasteps are leaves, so lca is a proper ancestor of both.
+        ActionId a = reg.ChildToward(l, c);
+        ActionId b = reg.ChildToward(l, d);
+        if (a == b) continue;  // same subtree; no sibling edge
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+        if (seen.insert(key).second) edges.push_back({a, b});
+      }
+    }
+  }
+  return edges;
+}
+
+/// Directed-cycle test over a sibling edge list.
+bool EdgesHaveCycle(const std::vector<SiblingDataEdge>& edges) {
+  std::unordered_map<ActionId, std::vector<ActionId>> adj;
+  std::unordered_set<ActionId> nodes;
+  for (const auto& e : edges) {
+    adj[e.from].push_back(e.to);
+    nodes.insert(e.from);
+    nodes.insert(e.to);
+  }
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::unordered_map<ActionId, std::uint8_t> color;
+  for (ActionId start : nodes) {
+    if (color[start] != kWhite) continue;
+    std::vector<std::pair<ActionId, std::size_t>> stack;
+    stack.emplace_back(start, 0);
+    color[start] = kGray;
+    while (!stack.empty()) {
+      auto& [n, idx] = stack.back();
+      auto it = adj.find(n);
+      if (it == adj.end() || idx >= it->second.size()) {
+        color[n] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      ActionId next = it->second[idx++];
+      std::uint8_t& c = color[next];
+      if (c == kGray) return true;  // back edge: nontrivial cycle
+      if (c == kWhite) {
+        c = kGray;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<SiblingDataEdge> SiblingDataEdges(const Aat& t) {
+  return BuildSiblingEdges(t, /*conflicts_only=*/false);
+}
+
+std::vector<SiblingDataEdge> SiblingDataEdgesRw(const Aat& t) {
+  return BuildSiblingEdges(t, /*conflicts_only=*/true);
+}
+
+bool HasSiblingDataCycle(const Aat& t) {
+  return EdgesHaveCycle(SiblingDataEdges(t));
+}
+
+bool HasSiblingDataCycleRw(const Aat& t) {
+  return EdgesHaveCycle(SiblingDataEdgesRw(t));
+}
+
+bool IsDataSerializable(const Aat& t) {
+  return IsVersionCompatible(t) && !HasSiblingDataCycle(t);
+}
+
+bool IsPermDataSerializable(const Aat& t) {
+  return IsDataSerializable(t.Perm());
+}
+
+bool IsDataSerializableRw(const Aat& t) {
+  // Version compatibility is computed over the stored (total) perform
+  // order, but read accesses are identity updates: their relative order
+  // cannot change any fold, so the same predicate is correct here.
+  return IsVersionCompatible(t) && !HasSiblingDataCycleRw(t);
+}
+
+bool IsPermDataSerializableRw(const Aat& t) {
+  return IsDataSerializableRw(t.Perm());
+}
+
+Value MossValue(const Aat& t, ActionId a) {
+  const action::ActionRegistry& reg = t.registry();
+  ObjectId x = reg.Object(a);
+  std::vector<ActionId> vis;
+  for (ActionId b : t.Datasteps(x)) {
+    if (b != a && t.IsVisibleTo(b, a)) vis.push_back(b);
+  }
+  return action::ResultOf(reg, x, vis);
+}
+
+Status CheckLemma10(const Aat& t) {
+  const action::ActionRegistry& reg = t.registry();
+  // (b) U ∈ active_T.
+  if (!t.IsActive(kRootAction)) {
+    return Status::Internal("Lemma 10(b): root U not active");
+  }
+  for (ActionId a : t.Vertices()) {
+    // (a) parent committed => child done.
+    if (a != kRootAction && t.IsCommitted(reg.Parent(a)) && !t.IsDone(a)) {
+      std::ostringstream os;
+      os << "Lemma 10(a): action " << a << " not done but parent "
+         << reg.Parent(a) << " committed";
+      return Status::Internal(os.str());
+    }
+  }
+  // (c) data pairs: predecessor dead or visible to successor.
+  for (ObjectId x : t.TouchedObjects()) {
+    const auto& steps = t.Datasteps(x);
+    for (std::size_t j = 0; j < steps.size(); ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        if (!(!t.IsLive(steps[i]) || t.IsVisibleTo(steps[i], steps[j]))) {
+          std::ostringstream os;
+          os << "Lemma 10(c): datastep " << steps[i]
+             << " live but not visible to " << steps[j];
+          return Status::Internal(os.str());
+        }
+      }
+    }
+  }
+  // (d) committed ancestor sees all its live activated descendants.
+  for (ActionId a : t.Vertices()) {
+    if (!t.IsCommitted(a)) continue;
+    for (ActionId b : t.Vertices()) {
+      if (!reg.IsAncestor(a, b)) continue;
+      if (t.IsLive(b) && !t.IsVisibleTo(b, a)) {
+        std::ostringstream os;
+        os << "Lemma 10(d): live descendant " << b << " of committed " << a
+           << " not visible to it";
+        return Status::Internal(os.str());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rnt::aat

@@ -1,0 +1,109 @@
+#ifndef RNT_AAT_AAT_H_
+#define RNT_AAT_AAT_H_
+
+#include <vector>
+
+#include "action/action_tree.h"
+#include "action/serializability.h"
+#include "common/status.h"
+
+namespace rnt::aat {
+
+/// An augmented action tree (AAT, paper §5.1) is a pair (S, data_T) where
+/// S is an action tree and data_T totally orders the datasteps of each
+/// object.
+///
+/// Representation choice: in every algebra of the paper, data_T grows only
+/// via perform's effect (d23), which appends the new datastep after all
+/// existing datasteps of its object. Hence data_T *is* the per-object
+/// perform order, which ActionTree already records in Datasteps(x). An AAT
+/// is therefore represented by the ActionTree itself, with the aat::
+/// functions below giving the data-order view. (A standalone data_T
+/// component would be redundant state to keep consistent.)
+using Aat = action::ActionTree;
+
+/// v-data_T(A) (paper §5.1): A's visible predecessors on its object in
+/// data order: { B ∈ visible_T(A, x) : (B, A) ∈ data_T, B ≠ A }.
+/// Requires A ∈ datasteps_T.
+std::vector<ActionId> VData(const Aat& t, ActionId a);
+
+/// Version compatibility (paper §5.2): every datastep's label equals
+/// result(x, ⟨v-data_T(A); data_T⟩).
+bool IsVersionCompatible(const Aat& t);
+
+/// One edge of the sibling-data_T relation (paper §5.1), lifted from a
+/// data_T pair (C, D) to the sibling level: (A, B) with A, B distinct
+/// children of lca(C, D).
+struct SiblingDataEdge {
+  ActionId from;
+  ActionId to;
+  friend bool operator==(const SiblingDataEdge&,
+                         const SiblingDataEdge&) = default;
+};
+
+/// All sibling-data_T edges with from != to (self-loops — cycles of
+/// length one — are permitted by Theorem 9(b) and omitted).
+std::vector<SiblingDataEdge> SiblingDataEdges(const Aat& t);
+
+/// True iff sibling-data_T has a cycle of length greater than one.
+bool HasSiblingDataCycle(const Aat& t);
+
+/// Theorem 9: T is data-serializable iff it is version-compatible and
+/// sibling-data_T has no cycle of length > 1. This is the efficient
+/// checker (polynomial) that the paper's characterization licenses, in
+/// contrast to the exhaustive definitional oracle in action/.
+bool IsDataSerializable(const Aat& t);
+
+/// The paper's correctness condition instantiated via Theorem 9:
+/// perm(T) is data-serializable (hence serializable).
+bool IsPermDataSerializable(const Aat& t);
+
+/// ------------------------------------------------------------------
+/// Read/write extension (the paper's §10 "complete Moss algorithm").
+///
+/// The simplified algorithm proved in the paper totally orders *all*
+/// accesses to an object, which is exactly why it cannot admit concurrent
+/// readers. Moss's complete algorithm allows sibling readers, so the
+/// per-object perform order no longer constrains read-read pairs. The
+/// extended characterization orders only *conflicting* pairs (at least
+/// one non-read): version compatibility is unchanged — reads are identity
+/// updates, so their position among themselves cannot affect any label —
+/// and the cycle condition is applied to conflict edges only. This is the
+/// nested-transaction form of classical conflict-serializability.
+
+/// Sibling-data edges restricted to conflicting pairs (at least one of
+/// the two accesses is not a read).
+std::vector<SiblingDataEdge> SiblingDataEdgesRw(const Aat& t);
+
+/// True iff the conflict-restricted sibling relation has a cycle of
+/// length > 1.
+bool HasSiblingDataCycleRw(const Aat& t);
+
+/// Theorem-9 analog for the read/write algorithm: version-compatible and
+/// conflict-edge acyclic. Sound for serializability (see aat_test's
+/// oracle comparison).
+bool IsDataSerializableRw(const Aat& t);
+
+/// perm(T) under the read/write characterization — the correctness
+/// predicate for traces of the read/write engine (txn/ with
+/// single_mode_locks = false).
+bool IsPermDataSerializableRw(const Aat& t);
+
+/// The "correct" value for access A under Moss's discipline, precondition
+/// (d13): result(x, ⟨visible_T(A, x); data_T⟩). Defined whether or not A
+/// has been performed yet (it uses only other datasteps).
+Value MossValue(const Aat& t, ActionId a);
+
+/// Lemma 10 invariants of computable level-2 states (used as test
+/// predicates and as optional runtime self-checks):
+///  (a) parent committed => child done;
+///  (b) U active;
+///  (c) (B, A) ∈ data_T => B dead or B ∈ visible_T(A);
+///  (d) A committed, B ∈ desc(A) ∩ vertices_T => B dead or
+///      B ∈ visible_T(A).
+/// Returns OK or a message identifying the first violated clause.
+Status CheckLemma10(const Aat& t);
+
+}  // namespace rnt::aat
+
+#endif  // RNT_AAT_AAT_H_

@@ -1,0 +1,67 @@
+#include "aat/aat_algebra.h"
+
+namespace rnt::aat {
+
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::Perform;
+
+bool AatAlgebra::Defined(const State& s, const Event& e) const {
+  if (const auto* c = std::get_if<Create>(&e)) return s.CanCreate(c->a);
+  if (const auto* c = std::get_if<Commit>(&e)) return s.CanCommit(c->a);
+  if (const auto* c = std::get_if<Abort>(&e)) return s.CanAbort(c->a);
+  const auto& p = std::get<Perform>(e);
+  if (!s.CanPerform(p.a)) return false;  // (d11)
+  ObjectId x = registry_->Object(p.a);
+  // (d12): every live datastep on x must be visible to A.
+  for (ActionId b : s.Datasteps(x)) {
+    if (s.IsLive(b) && !s.IsVisibleTo(b, p.a)) return false;
+  }
+  // (d13): a live access must see exactly the Moss value; orphans are
+  // unconstrained at this level.
+  if (s.IsLive(p.a) && p.u != MossValue(s, p.a)) return false;
+  return true;
+}
+
+void AatAlgebra::Apply(State& s, const Event& e) const {
+  if (const auto* c = std::get_if<Create>(&e)) {
+    s.ApplyCreate(c->a);
+  } else if (const auto* c = std::get_if<Commit>(&e)) {
+    s.ApplyCommit(c->a);
+  } else if (const auto* c = std::get_if<Abort>(&e)) {
+    s.ApplyAbort(c->a);
+  } else {
+    const auto& p = std::get<Perform>(e);
+    // Effect (d21)/(d22)/(d23): commit the access, record the label, and
+    // append it to the per-object data order.
+    s.ApplyPerform(p.a, p.u);
+  }
+}
+
+std::vector<algebra::TreeEvent> EventCandidates(const Aat& s) {
+  const action::ActionRegistry& reg = s.registry();
+  std::vector<algebra::TreeEvent> out;
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    if (!s.Contains(a)) {
+      out.push_back(Create{a});
+      continue;
+    }
+    if (!s.IsActive(a)) continue;
+    if (reg.IsAccess(a)) {
+      Value moss = MossValue(s, a);
+      out.push_back(Perform{a, moss});
+      if (!s.IsLive(a)) {
+        // Orphan: the model allows any observed value.
+        out.push_back(Perform{a, moss + 17});
+      }
+      out.push_back(Abort{a});
+    } else {
+      out.push_back(Commit{a});
+      out.push_back(Abort{a});
+    }
+  }
+  return out;
+}
+
+}  // namespace rnt::aat

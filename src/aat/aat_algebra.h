@@ -1,0 +1,58 @@
+#ifndef RNT_AAT_AAT_ALGEBRA_H_
+#define RNT_AAT_AAT_ALGEBRA_H_
+
+#include <vector>
+
+#include "aat/aat.h"
+#include "algebra/algebra.h"
+#include "algebra/events.h"
+
+namespace rnt::aat {
+
+/// Level 2: the algebra 𝒜′ based on augmented action trees (paper §6).
+///
+/// Events mirror level 1 with two changes: there is *no* global constraint
+/// C (computability alone guarantees data-serializability of perm(T) —
+/// Theorem 14), and perform gains Moss's two extra preconditions:
+///
+///   (d12) every *live* datastep on the object must already be visible to
+///         the new access A "up to the level which matters to A" — the
+///         abstract effect of holding a lock until commit propagates it
+///         high enough;
+///   (d13) if A is live, the value u must equal
+///         result(x, ⟨visible_T(A, x); data_T⟩) — the value produced by
+///         A's visible predecessors. (A *dead* access — an orphan — may
+///         see any value at this level.)
+///
+/// plus the effect (d23): A is appended to data_T after all existing
+/// datasteps of its object (realized by ActionTree's perform bookkeeping).
+class AatAlgebra {
+ public:
+  using State = Aat;
+  using Event = algebra::TreeEvent;
+
+  explicit AatAlgebra(const action::ActionRegistry* registry)
+      : registry_(registry) {}
+
+  State Initial() const { return action::ActionTree(registry_); }
+
+  bool Defined(const State& s, const Event& e) const;
+  void Apply(State& s, const Event& e) const;
+
+  const action::ActionRegistry& registry() const { return *registry_; }
+
+ private:
+  const action::ActionRegistry* registry_;
+};
+
+static_assert(algebra::EventStateAlgebra<AatAlgebra>);
+
+/// Candidate generator for random exploration of 𝒜′. For live accesses it
+/// proposes the unique Moss value (d13); for orphaned (dead) accesses it
+/// additionally proposes arbitrary values, exercising the freedom the
+/// level-2 model deliberately grants to orphans.
+std::vector<algebra::TreeEvent> EventCandidates(const Aat& s);
+
+}  // namespace rnt::aat
+
+#endif  // RNT_AAT_AAT_ALGEBRA_H_

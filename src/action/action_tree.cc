@@ -1,0 +1,173 @@
+#include "action/action_tree.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rnt::action {
+
+namespace {
+const std::vector<ActionId> kEmptyIdList;
+}  // namespace
+
+std::string_view ActionStatusName(ActionStatus s) {
+  switch (s) {
+    case ActionStatus::kActive:
+      return "active";
+    case ActionStatus::kCommitted:
+      return "committed";
+    case ActionStatus::kAborted:
+      return "aborted";
+  }
+  return "?";
+}
+
+ActionTree::ActionTree(const ActionRegistry* registry) : registry_(registry) {
+  vertices_.push_back(kRootAction);
+  info_[kRootAction] = VertexInfo{ActionStatus::kActive};
+}
+
+const std::vector<ActionId>& ActionTree::ChildrenIn(ActionId parent) const {
+  auto it = children_.find(parent);
+  return it == children_.end() ? kEmptyIdList : it->second;
+}
+
+const std::vector<ActionId>& ActionTree::Datasteps(ObjectId x) const {
+  auto it = datasteps_.find(x);
+  return it == datasteps_.end() ? kEmptyIdList : it->second;
+}
+
+std::vector<ObjectId> ActionTree::TouchedObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(datasteps_.size());
+  for (const auto& [x, steps] : datasteps_) {
+    if (!steps.empty()) out.push_back(x);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ActionTree::CanCreate(ActionId a) const {
+  if (a == kRootAction || !registry_->Valid(a)) return false;
+  if (Contains(a)) return false;  // (a11)
+  ActionId p = registry_->Parent(a);
+  // (a12): parent ∈ vertices_T - committed_T. An aborted parent is
+  // explicitly allowed by the paper (creation and abort may occur at
+  // different nodes of a distributed system).
+  auto it = info_.find(p);
+  return it != info_.end() && it->second.status != ActionStatus::kCommitted;
+}
+
+void ActionTree::ApplyCreate(ActionId a) {
+  vertices_.push_back(a);
+  info_[a] = VertexInfo{ActionStatus::kActive};
+  children_[registry_->Parent(a)].push_back(a);
+}
+
+bool ActionTree::CanCommit(ActionId a) const {
+  if (a == kRootAction || !registry_->Valid(a)) return false;
+  if (registry_->IsAccess(a)) return false;  // (b) applies to nonaccesses
+  if (!IsActive(a)) return false;            // (b11)
+  for (ActionId c : ChildrenIn(a)) {         // (b12)
+    if (!IsDone(c)) return false;
+  }
+  return true;
+}
+
+void ActionTree::ApplyCommit(ActionId a) {
+  info_.at(a).status = ActionStatus::kCommitted;
+}
+
+bool ActionTree::CanAbort(ActionId a) const {
+  if (a == kRootAction || !registry_->Valid(a)) return false;
+  return IsActive(a);  // (c11)
+}
+
+void ActionTree::ApplyAbort(ActionId a) {
+  info_.at(a).status = ActionStatus::kAborted;
+}
+
+bool ActionTree::CanPerform(ActionId a) const {
+  if (!registry_->Valid(a) || !registry_->IsAccess(a)) return false;
+  return IsActive(a);  // (d11)
+}
+
+void ActionTree::ApplyPerform(ActionId a, Value u) {
+  VertexInfo& v = info_.at(a);
+  v.status = ActionStatus::kCommitted;
+  v.label = u;
+  v.has_label = true;
+  datasteps_[registry_->Object(a)].push_back(a);
+}
+
+bool ActionTree::IsVisibleTo(ActionId b, ActionId a) const {
+  // B ∈ visible_T(A) iff anc(B) ∩ proper-desc(lca(A,B)) ⊆ committed_T.
+  ActionId l = registry_->Lca(a, b);
+  for (ActionId c = b; c != l; c = registry_->Parent(c)) {
+    if (StatusOf(c) != ActionStatus::kCommitted) return false;
+  }
+  return true;
+}
+
+std::vector<ActionId> ActionTree::VisibleDatasteps(ActionId a,
+                                                   ObjectId x) const {
+  std::vector<ActionId> out;
+  for (ActionId b : Datasteps(x)) {
+    if (IsVisibleTo(b, a)) out.push_back(b);
+  }
+  return out;
+}
+
+bool ActionTree::IsLive(ActionId a) const {
+  for (ActionId c = a;; c = registry_->Parent(c)) {
+    if (StatusOf(c) == ActionStatus::kAborted) return false;
+    if (c == kRootAction) return true;
+  }
+}
+
+ActionTree ActionTree::Perm() const {
+  ActionTree out(registry_);
+  // vertices_{perm(T)} = visible_T(U); iterating in activation order keeps
+  // parents before children, so ApplyCreate-style insertion stays closed.
+  for (ActionId a : vertices_) {
+    if (a == kRootAction) continue;
+    if (!IsVisibleTo(a, kRootAction)) continue;
+    out.vertices_.push_back(a);
+    out.info_[a] = info_.at(a);
+    out.children_[registry_->Parent(a)].push_back(a);
+    if (registry_->IsAccess(a) && info_.at(a).has_label) {
+      out.datasteps_[registry_->Object(a)].push_back(a);
+    }
+  }
+  return out;
+}
+
+std::string ActionTree::ToString() const {
+  std::ostringstream os;
+  for (ActionId a : vertices_) {
+    os << a << " (parent " << (a == kRootAction ? -1
+                                                : static_cast<long>(
+                                                      registry_->Parent(a)))
+       << ") " << ActionStatusName(StatusOf(a));
+    if (registry_->Valid(a) && a != kRootAction && registry_->IsAccess(a)) {
+      os << " access[x" << registry_->Object(a) << "]";
+      if (HasLabel(a)) os << " label=" << LabelOf(a);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool operator==(const ActionTree& x, const ActionTree& y) {
+  if (x.vertices_ != y.vertices_) return false;
+  for (ActionId a : x.vertices_) {
+    const auto& ix = x.info_.at(a);
+    const auto& iy = y.info_.at(a);
+    if (ix.status != iy.status || ix.has_label != iy.has_label ||
+        (ix.has_label && ix.label != iy.label)) {
+      return false;
+    }
+  }
+  return x.datasteps_ == y.datasteps_;
+}
+
+}  // namespace rnt::action

@@ -1,0 +1,163 @@
+#ifndef RNT_ACTION_ACTION_TREE_H_
+#define RNT_ACTION_ACTION_TREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "action/registry.h"
+#include "common/types.h"
+
+namespace rnt::action {
+
+/// Status classification of an activated action (paper §3.2).
+enum class ActionStatus : std::uint8_t {
+  kActive = 0,
+  kCommitted = 1,  // committed *relative to its parent*
+  kAborted = 2,
+};
+
+std::string_view ActionStatusName(ActionStatus s);
+
+/// An action tree T (paper §3.2): the snapshot of one execution.
+///
+/// Components, exactly as in the paper:
+///  * vertices_T — the actions activated so far (closed under parent);
+///  * a partition of vertices_T into active/committed/aborted;
+///  * label_T : datasteps_T -> values (the value *seen* by each committed
+///    access; the value written is deducible via update(A)).
+///
+/// The tree also memoizes derived structure the paper uses constantly:
+/// per-parent children lists (for the commit precondition b12) and the
+/// per-object datastep list in perform order (which level 2 reuses as the
+/// data_T total order per object).
+///
+/// ActionTree is a value type: algebras copy states freely when checking
+/// event domains and refinements. It holds a non-owning pointer to the
+/// ActionRegistry, which must outlive it.
+class ActionTree {
+ public:
+  /// The trivial tree: the single vertex U with status 'active'.
+  explicit ActionTree(const ActionRegistry* registry);
+
+  const ActionRegistry& registry() const { return *registry_; }
+
+  // ------------------------------------------------------------------
+  // Membership and status.
+
+  bool Contains(ActionId a) const { return info_.count(a) != 0; }
+  /// Requires Contains(a).
+  ActionStatus StatusOf(ActionId a) const { return info_.at(a).status; }
+  bool IsActive(ActionId a) const {
+    auto it = info_.find(a);
+    return it != info_.end() && it->second.status == ActionStatus::kActive;
+  }
+  bool IsCommitted(ActionId a) const {
+    auto it = info_.find(a);
+    return it != info_.end() && it->second.status == ActionStatus::kCommitted;
+  }
+  bool IsAborted(ActionId a) const {
+    auto it = info_.find(a);
+    return it != info_.end() && it->second.status == ActionStatus::kAborted;
+  }
+  /// done_T = committed_T ∪ aborted_T.
+  bool IsDone(ActionId a) const {
+    auto it = info_.find(a);
+    return it != info_.end() && it->second.status != ActionStatus::kActive;
+  }
+
+  /// Vertices in activation order (root first).
+  const std::vector<ActionId>& Vertices() const { return vertices_; }
+  std::size_t size() const { return vertices_.size(); }
+
+  /// Children of `parent` that are in the tree, in activation order.
+  const std::vector<ActionId>& ChildrenIn(ActionId parent) const;
+
+  /// datasteps_T(x): committed accesses to x, in perform order. Level 2
+  /// adopts this sequence as the total order data_T restricted to x.
+  const std::vector<ActionId>& Datasteps(ObjectId x) const;
+
+  /// All objects with at least one datastep.
+  std::vector<ObjectId> TouchedObjects() const;
+
+  /// label_T(A): the value seen by committed access A.
+  /// Requires A ∈ datasteps_T.
+  Value LabelOf(ActionId a) const { return info_.at(a).label; }
+  bool HasLabel(ActionId a) const {
+    auto it = info_.find(a);
+    return it != info_.end() && it->second.has_label;
+  }
+
+  // ------------------------------------------------------------------
+  // Level-1 events (paper §4 (a)-(d)), *without* the global constraint C.
+  // The spec algebra layers C on top via the serializability oracle.
+
+  /// Precondition (a1): A ∉ vertices, parent(A) ∈ vertices - committed.
+  bool CanCreate(ActionId a) const;
+  /// Effect (a2): add A with status 'active'.
+  void ApplyCreate(ActionId a);
+
+  /// Precondition (b1): A nonaccess, A active, children(A)∩vertices ⊆ done.
+  bool CanCommit(ActionId a) const;
+  /// Effect (b2): status(A) <- committed.
+  void ApplyCommit(ActionId a);
+
+  /// Precondition (c1): A active. (The paper's level-1 abort applies to
+  /// any active action, including an unperformed access.)
+  bool CanAbort(ActionId a) const;
+  /// Effect (c2): status(A) <- aborted.
+  void ApplyAbort(ActionId a);
+
+  /// Precondition (d1): A an access, A active.
+  bool CanPerform(ActionId a) const;
+  /// Effect (d2): status(A) <- committed, label(A) <- u; A is appended to
+  /// the per-object datastep order.
+  void ApplyPerform(ActionId a, Value u);
+
+  // ------------------------------------------------------------------
+  // Visibility and liveness (paper §3.3).
+
+  /// True iff B ∈ visible_T(A): every ancestor of B that is a proper
+  /// descendant of lca(A,B) is committed. Requires both in the tree.
+  bool IsVisibleTo(ActionId b, ActionId a) const;
+
+  /// visible_T(A, x): the visible datasteps on x, in datastep order.
+  std::vector<ActionId> VisibleDatasteps(ActionId a, ObjectId x) const;
+
+  /// A is live iff anc(A) ∩ aborted_T = ∅.
+  bool IsLive(ActionId a) const;
+
+  // ------------------------------------------------------------------
+  // perm(T) (paper §3.4): the subtree of actions visible to U — those
+  // whose effects are (or can become) permanent.
+
+  /// Builds perm(T) as a fresh ActionTree over the same registry.
+  ActionTree Perm() const;
+
+  /// True iff A ∈ vertices_{perm(T)} = visible_T(U).
+  bool InPerm(ActionId a) const { return IsVisibleTo(a, kRootAction); }
+
+  /// Debug rendering (one line per vertex).
+  std::string ToString() const;
+
+  friend bool operator==(const ActionTree& x, const ActionTree& y);
+
+ private:
+  struct VertexInfo {
+    ActionStatus status;
+    Value label = 0;
+    bool has_label = false;
+  };
+
+  const ActionRegistry* registry_;
+  std::vector<ActionId> vertices_;
+  std::unordered_map<ActionId, VertexInfo> info_;
+  std::unordered_map<ActionId, std::vector<ActionId>> children_;
+  std::unordered_map<ObjectId, std::vector<ActionId>> datasteps_;
+};
+
+}  // namespace rnt::action
+
+#endif  // RNT_ACTION_ACTION_TREE_H_

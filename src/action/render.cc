@@ -1,0 +1,99 @@
+#include "action/render.h"
+
+#include <sstream>
+
+namespace rnt::action {
+
+namespace {
+
+const char* FillFor(const ActionTree& t, ActionId a) {
+  switch (t.StatusOf(a)) {
+    case ActionStatus::kActive:
+      return "white";
+    case ActionStatus::kCommitted:
+      return "palegreen";
+    case ActionStatus::kAborted:
+      return "lightcoral";
+  }
+  return "white";
+}
+
+void AppendVertexLabel(const ActionTree& t, ActionId a, std::ostream& os) {
+  const ActionRegistry& reg = t.registry();
+  if (a == kRootAction) {
+    os << "U";
+    return;
+  }
+  os << a;
+  if (reg.IsAccess(a)) {
+    os << "\\nx" << reg.Object(a) << " " << reg.UpdateOf(a).ToString();
+    if (t.HasLabel(a)) os << "\\nsaw " << t.LabelOf(a);
+  }
+}
+
+}  // namespace
+
+std::string ToDot(const ActionTree& tree, const DotOptions& options) {
+  const ActionRegistry& reg = tree.registry();
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  node [shape=box, style=filled];\n";
+  for (ActionId a : tree.Vertices()) {
+    os << "  n" << a << " [label=\"";
+    AppendVertexLabel(tree, a, os);
+    os << "\", fillcolor=" << FillFor(tree, a);
+    if (options.highlight_orphans && a != kRootAction && !tree.IsLive(a) &&
+        !tree.IsAborted(a)) {
+      os << ", color=red, penwidth=2";
+    }
+    os << "];\n";
+  }
+  for (ActionId a : tree.Vertices()) {
+    if (a == kRootAction) continue;
+    os << "  n" << reg.Parent(a) << " -> n" << a << ";\n";
+  }
+  if (options.show_data_order) {
+    for (ObjectId x : tree.TouchedObjects()) {
+      const auto& steps = tree.Datasteps(x);
+      for (std::size_t i = 0; i + 1 < steps.size(); ++i) {
+        os << "  n" << steps[i] << " -> n" << steps[i + 1]
+           << " [style=dashed, constraint=false, label=\"x" << x << "\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ToIndentedString(const ActionTree& tree) {
+  const ActionRegistry& reg = tree.registry();
+  std::ostringstream os;
+  // Iterative DFS over the activated tree, children in activation order.
+  std::vector<std::pair<ActionId, int>> stack{{kRootAction, 0}};
+  while (!stack.empty()) {
+    auto [a, depth] = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < depth; ++i) os << "  ";
+    if (a == kRootAction) {
+      os << "U";
+    } else {
+      os << a;
+    }
+    os << " [" << ActionStatusName(tree.StatusOf(a)) << "]";
+    if (a != kRootAction && reg.IsAccess(a)) {
+      os << " x" << reg.Object(a) << " " << reg.UpdateOf(a).ToString();
+      if (tree.HasLabel(a)) os << " saw=" << tree.LabelOf(a);
+    }
+    if (a != kRootAction && !tree.IsLive(a) && !tree.IsAborted(a)) {
+      os << " (orphan)";
+    }
+    os << "\n";
+    const auto& kids = tree.ChildrenIn(a);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rnt::action

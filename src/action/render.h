@@ -1,0 +1,32 @@
+#ifndef RNT_ACTION_RENDER_H_
+#define RNT_ACTION_RENDER_H_
+
+#include <string>
+
+#include "action/action_tree.h"
+
+namespace rnt::action {
+
+/// Rendering options for Graphviz export.
+struct DotOptions {
+  /// Include the per-object datastep order as dashed edges.
+  bool show_data_order = true;
+  /// Mark orphaned vertices (live == false, status != aborted).
+  bool highlight_orphans = true;
+  std::string graph_name = "action_tree";
+};
+
+/// Renders an action tree as a Graphviz digraph: tree edges parent->child,
+/// statuses as colors (active = white, committed = green, aborted = red),
+/// access labels showing object/update/value-seen, and optionally the
+/// per-object data order. Paste into `dot -Tsvg` to visualize an
+/// execution — invaluable when a serializability check fails.
+std::string ToDot(const ActionTree& tree, const DotOptions& options = {});
+
+/// One-line-per-vertex indented text rendering (depth-first), a compact
+/// alternative to ToDot for logs and test diagnostics.
+std::string ToIndentedString(const ActionTree& tree);
+
+}  // namespace rnt::action
+
+#endif  // RNT_ACTION_RENDER_H_

@@ -1,0 +1,146 @@
+#include "action/serializability.h"
+
+#include <algorithm>
+
+namespace rnt::action {
+
+Value ResultOf(const ActionRegistry& registry, ObjectId x,
+               std::span<const ActionId> seq) {
+  Value v = kInitValue;
+  for (ActionId a : seq) {
+    if (registry.IsAccess(a) && registry.Object(a) == x) {
+      v = registry.UpdateOf(a).Apply(v);
+    }
+  }
+  return v;
+}
+
+namespace {
+
+/// Shared state for the exhaustive search over sibling permutations.
+class OracleSearch {
+ public:
+  OracleSearch(const ActionTree& tree, const OracleOptions& options)
+      : tree_(tree), reg_(tree.registry()), options_(options) {
+    // Gather sibling groups (children sets within the tree). Groups of
+    // size 1 are trivially ordered; only groups of size >= 2 need
+    // enumeration, but every vertex gets a position so induced-order
+    // comparisons are uniform.
+    for (ActionId a : tree_.Vertices()) {
+      const auto& kids = tree_.ChildrenIn(a);
+      if (kids.empty()) continue;
+      if (kids.size() == 1) {
+        pos_[kids[0]] = 0;
+      } else {
+        groups_.push_back(kids);
+      }
+    }
+  }
+
+  std::optional<SiblingOrder> Run() {
+    found_ = false;
+    Recurse(0);
+    if (!found_) return std::nullopt;
+    return witness_;
+  }
+
+ private:
+  /// pos_-based induced order: A before B iff their sibling-level
+  /// projections under lca(A,B) compare that way (paper §3.4).
+  bool InducedBefore(ActionId a, ActionId b) const {
+    ActionId l = reg_.Lca(a, b);
+    ActionId pa = reg_.ChildToward(l, a);
+    ActionId pb = reg_.ChildToward(l, b);
+    return pos_.at(pa) < pos_.at(pb);
+  }
+
+  /// Checks the serializing condition (and optional data-order
+  /// consistency) under the current complete `pos_` assignment.
+  bool CheckAssignment() {
+    // Optional: induced must be consistent with the provided data order.
+    if (options_.data_order != nullptr) {
+      for (const auto& [x, seq] : *options_.data_order) {
+        for (std::size_t i = 0; i + 1 < seq.size(); ++i) {
+          // data order is total per object and induced is total on
+          // datasteps, so consecutive pairs suffice.
+          if (!InducedBefore(seq[i], seq[i + 1])) return false;
+        }
+      }
+    }
+    // label_T(A) = result(x, preds_{T,p}(A)) for all datasteps A.
+    for (ObjectId x : tree_.TouchedObjects()) {
+      for (ActionId a : tree_.Datasteps(x)) {
+        std::vector<ActionId> preds;
+        for (ActionId b : tree_.Datasteps(x)) {
+          if (b == a) continue;
+          if (tree_.IsVisibleTo(b, a) && InducedBefore(b, a)) {
+            preds.push_back(b);
+          }
+        }
+        std::sort(preds.begin(), preds.end(),
+                  [&](ActionId p, ActionId q) { return InducedBefore(p, q); });
+        if (tree_.LabelOf(a) != ResultOf(reg_, x, preds)) return false;
+      }
+    }
+    return true;
+  }
+
+  void Recurse(std::size_t gi) {
+    if (found_ || attempts_ > options_.max_assignments) return;
+    if (gi == groups_.size()) {
+      ++attempts_;
+      if (CheckAssignment()) {
+        found_ = true;
+        // Record the witness: current permutation of every group, plus
+        // singleton groups as-is.
+        witness_.order_by_parent.clear();
+        for (ActionId a : tree_.Vertices()) {
+          const auto& kids = tree_.ChildrenIn(a);
+          if (kids.empty()) continue;
+          std::vector<ActionId> ordered(kids);
+          std::sort(ordered.begin(), ordered.end(),
+                    [&](ActionId p, ActionId q) {
+                      return pos_.at(p) < pos_.at(q);
+                    });
+          witness_.order_by_parent[a] = std::move(ordered);
+        }
+      }
+      return;
+    }
+    std::vector<ActionId> perm = groups_[gi];
+    std::sort(perm.begin(), perm.end());
+    do {
+      for (std::size_t i = 0; i < perm.size(); ++i) pos_[perm[i]] = i;
+      Recurse(gi + 1);
+      if (found_) return;
+    } while (std::next_permutation(perm.begin(), perm.end()) &&
+             attempts_ <= options_.max_assignments);
+  }
+
+  const ActionTree& tree_;
+  const ActionRegistry& reg_;
+  const OracleOptions& options_;
+  std::vector<std::vector<ActionId>> groups_;
+  std::unordered_map<ActionId, std::size_t> pos_;
+  std::uint64_t attempts_ = 0;
+  bool found_ = false;
+  SiblingOrder witness_;
+};
+
+}  // namespace
+
+std::optional<SiblingOrder> FindSerializingOrder(const ActionTree& tree,
+                                                 const OracleOptions& options) {
+  OracleSearch search(tree, options);
+  return search.Run();
+}
+
+bool IsSerializable(const ActionTree& tree, const OracleOptions& options) {
+  return FindSerializingOrder(tree, options).has_value();
+}
+
+bool IsPermSerializable(const ActionTree& tree, const OracleOptions& options) {
+  return IsSerializable(tree.Perm(), options);
+}
+
+}  // namespace rnt::action

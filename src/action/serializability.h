@@ -1,0 +1,65 @@
+#ifndef RNT_ACTION_SERIALIZABILITY_H_
+#define RNT_ACTION_SERIALIZABILITY_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "action/action_tree.h"
+
+namespace rnt::action {
+
+/// result(x, s) (paper §3.4): folds the update functions of the accesses
+/// in `seq` that touch `x` over init(x) = 0. Accesses to other objects in
+/// the sequence are skipped, exactly as in the paper's definition.
+Value ResultOf(const ActionRegistry& registry, ObjectId x,
+               std::span<const ActionId> seq);
+
+/// A per-object total order on datasteps — level 2's data_T, represented
+/// as the sequence of datasteps of each object in data order.
+using DataOrder = std::unordered_map<ObjectId, std::vector<ActionId>>;
+
+/// A witness serializing partial order: for every sibling group in the
+/// tree (children of one parent), the chosen linear order.
+struct SiblingOrder {
+  std::unordered_map<ActionId, std::vector<ActionId>> order_by_parent;
+};
+
+/// Options for the exhaustive serializability oracle.
+struct OracleOptions {
+  /// When set, additionally require the induced datastep order to be
+  /// consistent with this data order — i.e., decide
+  /// *data-serializability* (paper §5.1) instead of plain serializability.
+  const DataOrder* data_order = nullptr;
+
+  /// Safety cap on the number of sibling-permutation assignments tried;
+  /// the oracle is exponential by design (it implements the definition).
+  std::uint64_t max_assignments = 50'000'000;
+};
+
+/// Exhaustive oracle for the paper's §3.4 definition: searches for a
+/// linearizing partial order p such that every datastep's label equals
+/// result(x, preds_{T,p}(A)). Returns the witness order, or nullopt if no
+/// serializing order exists (or the assignment cap was hit — callers keep
+/// oracle trees small).
+///
+/// This is the *definition* executed literally; it is used to validate the
+/// efficient Theorem 9 checker (aat/) and the engines on small trees, and
+/// as the baseline in bench_checker (experiment E4).
+std::optional<SiblingOrder> FindSerializingOrder(
+    const ActionTree& tree, const OracleOptions& options = {});
+
+/// True iff `tree` is serializable (paper §3.4).
+bool IsSerializable(const ActionTree& tree, const OracleOptions& options = {});
+
+/// True iff perm(tree) is serializable — the paper's correctness condition
+/// for executions ("any tree T created by our algorithm should have
+/// perm(T) serializable").
+bool IsPermSerializable(const ActionTree& tree,
+                        const OracleOptions& options = {});
+
+}  // namespace rnt::action
+
+#endif  // RNT_ACTION_SERIALIZABILITY_H_

@@ -1,0 +1,29 @@
+#include "action/update.h"
+
+#include <sstream>
+
+namespace rnt::action {
+
+std::string Update::ToString() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kRead:
+      os << "read";
+      break;
+    case Kind::kWrite:
+      os << "write(" << a << ")";
+      break;
+    case Kind::kAdd:
+      os << "add(" << a << ")";
+      break;
+    case Kind::kXorConst:
+      os << "xor(" << a << ")";
+      break;
+    case Kind::kMulAdd:
+      os << "muladd(" << a << "," << b << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace rnt::action

@@ -1,0 +1,76 @@
+#ifndef RNT_ACTION_UPDATE_H_
+#define RNT_ACTION_UPDATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace rnt::action {
+
+/// The update function attached to an access (the paper's `update(A)`).
+///
+/// The paper allows an arbitrary function values(x) -> values(x) per
+/// access. We instantiate a small closed algebra over int64 values that is
+/// deterministic, value-semantic, and hashable:
+///
+///  * `kRead`   — the identity function: the paper's "read accesses".
+///  * `kWrite`  — a constant function:   the paper's "write accesses".
+///  * `kAdd`    — v + a (commutative, models counters).
+///  * `kXorConst` — v ^ a (self-inverse, useful in failure tests).
+///  * `kMulAdd` — v * a + b (non-commuting; makes serialization order
+///    observable in values, which the pure read/write pair cannot).
+///
+/// Because the access's "name" is assumed by the paper to encode any
+/// dependence on earlier steps of its transaction, the update function is
+/// fixed at access-creation time, exactly as in the paper.
+struct Update {
+  enum class Kind : std::uint8_t { kRead, kWrite, kAdd, kXorConst, kMulAdd };
+
+  Kind kind = Kind::kRead;
+  Value a = 0;
+  Value b = 0;
+
+  static Update Read() { return Update{Kind::kRead, 0, 0}; }
+  static Update Write(Value c) { return Update{Kind::kWrite, c, 0}; }
+  static Update Add(Value d) { return Update{Kind::kAdd, d, 0}; }
+  static Update XorConst(Value m) { return Update{Kind::kXorConst, m, 0}; }
+  static Update MulAdd(Value m, Value c) {
+    return Update{Kind::kMulAdd, m, c};
+  }
+
+  /// Applies the function to `v` (wrapping arithmetic; overflow is
+  /// well-defined and irrelevant to correctness properties).
+  Value Apply(Value v) const {
+    switch (kind) {
+      case Kind::kRead:
+        return v;
+      case Kind::kWrite:
+        return a;
+      case Kind::kAdd:
+        return static_cast<Value>(static_cast<std::uint64_t>(v) +
+                                  static_cast<std::uint64_t>(a));
+      case Kind::kXorConst:
+        return v ^ a;
+      case Kind::kMulAdd:
+        return static_cast<Value>(static_cast<std::uint64_t>(v) *
+                                      static_cast<std::uint64_t>(a) +
+                                  static_cast<std::uint64_t>(b));
+    }
+    return v;
+  }
+
+  /// True for the identity function — the Moss read/write extension treats
+  /// these accesses as read-lockable (see lock/).
+  bool IsRead() const { return kind == Kind::kRead; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Update& x, const Update& y) {
+    return x.kind == y.kind && x.a == y.a && x.b == y.b;
+  }
+};
+
+}  // namespace rnt::action
+
+#endif  // RNT_ACTION_UPDATE_H_

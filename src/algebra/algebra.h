@@ -1,0 +1,171 @@
+#ifndef RNT_ALGEBRA_ALGEBRA_H_
+#define RNT_ALGEBRA_ALGEBRA_H_
+
+#include <concepts>
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace rnt::algebra {
+
+/// An event-state algebra 𝒜 = (A, σ, Π) (paper §2.1), executable form.
+///
+/// A conforming type provides:
+///   * `State`              — the state set A (a value type);
+///   * `Event`              — the events Π (a value type, usually a variant);
+///   * `State Initial()`    — the initial state σ;
+///   * `bool Defined(s, e)` — whether s ∈ domain(e);
+///   * `void Apply(s, e)`   — the (partial) unary operation, callable only
+///                            when Defined(s, e).
+///
+/// The algebra object itself carries static configuration (the action
+/// registry, node count, oracle options); states carry everything that
+/// evolves.
+template <typename A>
+concept EventStateAlgebra =
+    requires(const A& alg, typename A::State& s, const typename A::State& cs,
+             const typename A::Event& e) {
+      { alg.Initial() } -> std::same_as<typename A::State>;
+      { alg.Defined(cs, e) } -> std::same_as<bool>;
+      { alg.Apply(s, e) };
+    };
+
+/// Replays Φ from σ; returns the result state, or nullopt if Φ is not
+/// valid (some prefix leaves the domain of the next event).
+template <EventStateAlgebra A>
+std::optional<typename A::State> Run(const A& alg,
+                                     std::span<const typename A::Event> seq) {
+  typename A::State s = alg.Initial();
+  for (const auto& e : seq) {
+    if (!alg.Defined(s, e)) return std::nullopt;
+    alg.Apply(s, e);
+  }
+  return s;
+}
+
+/// True iff Φ is a valid event sequence of the algebra (paper §2.1).
+template <EventStateAlgebra A>
+bool IsValidSequence(const A& alg, std::span<const typename A::Event> seq) {
+  return Run(alg, seq).has_value();
+}
+
+/// The result of a random exploration of an algebra.
+template <typename A>
+struct RandomRunResult {
+  std::vector<typename A::Event> events;
+  typename A::State state;
+};
+
+/// Drives an algebra with randomly chosen enabled events.
+///
+/// `candidates(state)` proposes a set of events (level modules provide
+/// generators tuned to produce interesting trees); the driver filters by
+/// `Defined` and applies a uniformly random enabled one, for up to `steps`
+/// steps or until no candidate is enabled. Every computation produced this
+/// way is, by construction, a valid computation of the algebra — random
+/// runs are the raw material for the property tests and the refinement
+/// checks.
+template <EventStateAlgebra A, typename CandidateFn>
+RandomRunResult<A> RandomRun(const A& alg, CandidateFn&& candidates, Rng& rng,
+                             std::size_t steps) {
+  RandomRunResult<A> out{.events = {}, .state = alg.Initial()};
+  for (std::size_t i = 0; i < steps; ++i) {
+    std::vector<typename A::Event> enabled;
+    for (auto& e : candidates(out.state)) {
+      if (alg.Defined(out.state, e)) enabled.push_back(std::move(e));
+    }
+    if (enabled.empty()) break;
+    const auto& pick = enabled[rng.Below(enabled.size())];
+    alg.Apply(out.state, pick);
+    out.events.push_back(pick);
+  }
+  return out;
+}
+
+/// Checks that an interpretation h is a *simulation* of `upper` by
+/// `lower` on one concrete computation (paper §2.1/Lemma 3, made
+/// executable): replays `lower_seq` in the lower algebra while mapping
+/// each event through `event_map` (nullopt = Λ) and replaying the image in
+/// the upper algebra, failing if any image event is undefined — i.e.,
+/// mechanically discharging possibilities-mapping property (b) on this
+/// run. After every step, `state_check(lower_state, upper_state)` may
+/// assert the state correspondence (possibilities-mapping properties
+/// (c)/(d); pass a trivial lambda to skip).
+///
+/// Returns OK iff h(Φ') is valid in the upper algebra and every state
+/// check passes.
+template <EventStateAlgebra L, EventStateAlgebra U, typename EventMap,
+          typename StateCheck>
+Status CheckRefinement(const L& lower, const U& upper,
+                       std::span<const typename L::Event> lower_seq,
+                       EventMap&& event_map, StateCheck&& state_check) {
+  typename L::State ls = lower.Initial();
+  typename U::State us = upper.Initial();
+  {
+    Status s = state_check(ls, us);
+    if (!s.ok()) return s;
+  }
+  std::size_t step = 0;
+  for (const auto& le : lower_seq) {
+    if (!lower.Defined(ls, le)) {
+      std::ostringstream os;
+      os << "lower event #" << step << " not defined (invalid lower run)";
+      return Status::FailedPrecondition(os.str());
+    }
+    lower.Apply(ls, le);
+    std::optional<typename U::Event> ue = event_map(le);
+    if (ue.has_value()) {
+      if (!upper.Defined(us, *ue)) {
+        std::ostringstream os;
+        os << "refinement violated at step " << step
+           << ": image event not defined in upper algebra";
+        return Status::FailedPrecondition(os.str());
+      }
+      upper.Apply(us, *ue);
+    }
+    Status s = state_check(ls, us);
+    if (!s.ok()) {
+      std::ostringstream os;
+      os << "state correspondence violated after step " << step << ": "
+         << s.message();
+      return Status::Internal(os.str());
+    }
+    ++step;
+  }
+  return Status::Ok();
+}
+
+/// Convenience overload without a state check.
+template <EventStateAlgebra L, EventStateAlgebra U, typename EventMap>
+Status CheckRefinement(const L& lower, const U& upper,
+                       std::span<const typename L::Event> lower_seq,
+                       EventMap&& event_map) {
+  return CheckRefinement(
+      lower, upper, lower_seq, std::forward<EventMap>(event_map),
+      [](const typename L::State&, const typename U::State&) {
+        return Status::Ok();
+      });
+}
+
+/// Maps a lower-level event sequence through an interpretation, dropping
+/// Λ images — the homomorphic extension h(Φ') of paper §2.1.
+template <typename UpperEvent, typename LowerEvent, typename EventMap>
+std::vector<UpperEvent> MapSequence(std::span<const LowerEvent> seq,
+                                    EventMap&& event_map) {
+  std::vector<UpperEvent> out;
+  out.reserve(seq.size());
+  for (const auto& e : seq) {
+    if (auto u = event_map(e); u.has_value()) out.push_back(*u);
+  }
+  return out;
+}
+
+}  // namespace rnt::algebra
+
+#endif  // RNT_ALGEBRA_ALGEBRA_H_

@@ -1,0 +1,39 @@
+#include "algebra/events.h"
+
+#include <sstream>
+
+namespace rnt::algebra {
+
+namespace {
+
+struct Printer {
+  std::ostringstream os;
+  void operator()(const Create& e) { os << "create(" << e.a << ")"; }
+  void operator()(const Commit& e) { os << "commit(" << e.a << ")"; }
+  void operator()(const Abort& e) { os << "abort(" << e.a << ")"; }
+  void operator()(const Perform& e) {
+    os << "perform(" << e.a << ", u=" << e.u << ")";
+  }
+  void operator()(const ReleaseLock& e) {
+    os << "release-lock(" << e.a << ", x" << e.x << ")";
+  }
+  void operator()(const LoseLock& e) {
+    os << "lose-lock(" << e.a << ", x" << e.x << ")";
+  }
+};
+
+}  // namespace
+
+std::string ToString(const TreeEvent& e) {
+  Printer p;
+  std::visit(p, e);
+  return p.os.str();
+}
+
+std::string ToString(const LockEvent& e) {
+  Printer p;
+  std::visit(p, e);
+  return p.os.str();
+}
+
+}  // namespace rnt::algebra

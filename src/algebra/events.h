@@ -1,0 +1,75 @@
+#ifndef RNT_ALGEBRA_EVENTS_H_
+#define RNT_ALGEBRA_EVENTS_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/types.h"
+
+namespace rnt::algebra {
+
+/// Event payloads shared by the centralized levels (𝒜, 𝒜′, 𝒜″, 𝒜‴).
+/// Each struct corresponds to one event family of the paper:
+///   create_A, commit_A, abort_A, perform_{A,u},
+///   release-lock_{A,x}, lose-lock_{A,x}.
+/// Events are tiny value types; an event *sequence* is the paper's Φ.
+
+struct Create {
+  ActionId a;
+  friend bool operator==(const Create&, const Create&) = default;
+};
+
+struct Commit {
+  ActionId a;
+  friend bool operator==(const Commit&, const Commit&) = default;
+};
+
+struct Abort {
+  ActionId a;
+  friend bool operator==(const Abort&, const Abort&) = default;
+};
+
+struct Perform {
+  ActionId a;
+  Value u;  // the value *seen* by the access (paper: label_T(A) <- u)
+  friend bool operator==(const Perform&, const Perform&) = default;
+};
+
+struct ReleaseLock {
+  ActionId a;
+  ObjectId x;
+  friend bool operator==(const ReleaseLock&, const ReleaseLock&) = default;
+};
+
+struct LoseLock {
+  ActionId a;
+  ObjectId x;
+  friend bool operator==(const LoseLock&, const LoseLock&) = default;
+};
+
+/// Events of the level-1 and level-2 algebras (paper §4, §6).
+using TreeEvent = std::variant<Create, Commit, Abort, Perform>;
+
+/// Events of the level-3 and level-4 algebras (paper §7, §8): the tree
+/// events plus the two lock-manipulation events.
+using LockEvent =
+    std::variant<Create, Commit, Abort, Perform, ReleaseLock, LoseLock>;
+
+std::string ToString(const TreeEvent& e);
+std::string ToString(const LockEvent& e);
+
+/// The interpretation h : Π(level 3/4) -> Π(level 1/2) ∪ {Λ}
+/// (paper Lemma 17): tree events map to their namesakes; release-lock and
+/// lose-lock map to the null event Λ (represented as nullopt).
+inline std::optional<TreeEvent> LockToTreeEvent(const LockEvent& e) {
+  if (const auto* c = std::get_if<Create>(&e)) return TreeEvent{*c};
+  if (const auto* c = std::get_if<Commit>(&e)) return TreeEvent{*c};
+  if (const auto* c = std::get_if<Abort>(&e)) return TreeEvent{*c};
+  if (const auto* c = std::get_if<Perform>(&e)) return TreeEvent{*c};
+  return std::nullopt;  // Λ
+}
+
+}  // namespace rnt::algebra
+
+#endif  // RNT_ALGEBRA_EVENTS_H_

@@ -1,0 +1,61 @@
+#include "baseline/flat_engine.h"
+
+namespace rnt::baseline {
+
+namespace {
+
+/// Handle facade: the root owns the real nested-engine transaction;
+/// "children" share it. See FlatEngine docs for the semantics.
+class FlatHandle final : public txn::TxnHandle {
+ public:
+  /// Root constructor.
+  explicit FlatHandle(std::unique_ptr<txn::TxnHandle> root)
+      : inner_(std::move(root)), is_root_(true) {}
+  /// Child facade constructor.
+  explicit FlatHandle(txn::TxnHandle* shared)
+      : shared_(shared), is_root_(false) {}
+
+  StatusOr<Value> Get(ObjectId x) override { return Target()->Get(x); }
+  Status Put(ObjectId x, Value v) override { return Target()->Put(x, v); }
+  StatusOr<Value> Apply(ObjectId x, const action::Update& u) override {
+    return Target()->Apply(x, u);
+  }
+
+  StatusOr<std::unique_ptr<txn::TxnHandle>> BeginChild() override {
+    // A flat engine has no subtransactions: hand out a facade over the
+    // same top-level transaction.
+    return std::unique_ptr<txn::TxnHandle>(new FlatHandle(Target()));
+  }
+
+  Status Commit() override {
+    if (is_root_) return inner_->Commit();
+    // Child "commit" is a no-op: the work is already part of the root.
+    return Status::Ok();
+  }
+
+  Status Abort() override {
+    // No partial rollback exists: any abort kills the whole transaction.
+    return Target()->Abort();
+  }
+
+ private:
+  txn::TxnHandle* Target() { return is_root_ ? inner_.get() : shared_; }
+
+  std::unique_ptr<txn::TxnHandle> inner_;  // root only
+  txn::TxnHandle* shared_ = nullptr;       // child facades
+  bool is_root_;
+};
+
+}  // namespace
+
+FlatEngine::FlatEngine() : FlatEngine(Options{}) {}
+
+FlatEngine::FlatEngine(Options options) : mgr_(options.manager) {}
+
+std::unique_ptr<txn::TxnHandle> FlatEngine::Begin() {
+  return std::unique_ptr<txn::TxnHandle>(new FlatHandle(mgr_.Begin()));
+}
+
+Value FlatEngine::ReadCommitted(ObjectId x) { return mgr_.ReadCommitted(x); }
+
+}  // namespace rnt::baseline

@@ -1,0 +1,50 @@
+#ifndef RNT_BASELINE_FLAT_ENGINE_H_
+#define RNT_BASELINE_FLAT_ENGINE_H_
+
+#include <memory>
+
+#include "txn/engine.h"
+#include "txn/transaction_manager.h"
+
+namespace rnt::baseline {
+
+/// The single-level baseline the paper's introduction argues against:
+/// classical strict two-phase locking with *no* nesting.
+///
+/// FlatEngine exposes the same TxnHandle surface as the nested engine so
+/// identical workload code runs on both, but BeginChild returns a facade
+/// that delegates every access to the top-level transaction:
+///
+///  * there is no partial rollback — "aborting" a child aborts the whole
+///    top-level transaction (a failure always restarts from the top,
+///    which is experiment E2's resilience gap);
+///  * sibling "subtransactions" provide no extra concurrency: all locks
+///    are held by the single top-level transaction until it finishes
+///    (experiment E1's concurrency gap).
+///
+/// Internally this reuses txn::TransactionManager with depth-1
+/// transactions, so lock acquisition, deadlock handling, and value
+/// management are byte-for-byte the same machinery — the comparison
+/// isolates the *structure*, not incidental implementation differences.
+class FlatEngine final : public txn::Engine {
+ public:
+  struct Options {
+    txn::TransactionManager::Options manager;
+  };
+
+  FlatEngine();
+  explicit FlatEngine(Options options);
+
+  std::unique_ptr<txn::TxnHandle> Begin() override;
+  Value ReadCommitted(ObjectId x) override;
+  std::string name() const override { return "flat-2pl"; }
+
+  txn::TransactionManager::Stats stats() const { return mgr_.stats(); }
+
+ private:
+  txn::TransactionManager mgr_;
+};
+
+}  // namespace rnt::baseline
+
+#endif  // RNT_BASELINE_FLAT_ENGINE_H_

@@ -1,0 +1,184 @@
+#include "baseline/mvto_engine.h"
+
+#include <algorithm>
+
+#include "action/registry.h"
+
+namespace rnt::baseline {
+
+std::vector<MvtoEngine::Version>& MvtoEngine::VersionsLocked(ObjectId x) {
+  auto it = versions_.find(x);
+  if (it == versions_.end()) {
+    it = versions_.emplace(x, std::vector<Version>{Version{}}).first;
+  }
+  return it->second;
+}
+
+StatusOr<Value> MvtoEngine::AccessLocked(Ts ts, ObjectId x,
+                                         const action::Update& u) {
+  auto txn = txns_.find(ts);
+  if (txn == txns_.end() || !txn->second.active) {
+    return Status::Aborted("transaction is not active");
+  }
+  ++stats_.accesses;
+  std::vector<Version>& vs = VersionsLocked(x);
+  // Governing version: largest wts <= ts.
+  auto it = std::partition_point(
+      vs.begin(), vs.end(), [ts](const Version& v) { return v.wts <= ts; });
+  Version& gov = *(it - 1);  // the initial version guarantees existence
+  if (!gov.committed && gov.owner != ts) {
+    ++stats_.conflict_aborts;
+    (void)AbortLocked(ts);
+    return Status::Aborted("mvto: read of another txn's tentative version");
+  }
+  if (u.IsRead()) {
+    gov.rts = std::max(gov.rts, ts);
+    return gov.value;
+  }
+  // Write path.
+  if (gov.rts > ts) {
+    ++stats_.conflict_aborts;
+    (void)AbortLocked(ts);
+    return Status::Aborted("mvto: stale write (younger reader exists)");
+  }
+  // Every non-read update in our algebra is a read-modify-write (it
+  // observes gov.value), so it must also record its read timestamp on the
+  // governing version — otherwise an older writer could later slot a
+  // version between gov and ours, and its update would silently vanish
+  // from our chain (a lost update).
+  gov.rts = std::max(gov.rts, ts);
+  Value seen = gov.value;
+  Value next = u.Apply(seen);
+  if (gov.owner == ts && !gov.committed) {
+    gov.value = next;  // overwrite own tentative version
+  } else {
+    Version nv;
+    nv.wts = ts;
+    nv.rts = ts;
+    nv.value = next;
+    nv.committed = false;
+    nv.owner = ts;
+    vs.insert(it, nv);
+    txn->second.written.insert(x);
+  }
+  return seen;
+}
+
+Status MvtoEngine::CommitLocked(Ts ts) {
+  auto txn = txns_.find(ts);
+  if (txn == txns_.end()) return Status::Aborted("transaction is gone");
+  if (!txn->second.active) return Status::Aborted("transaction was aborted");
+  for (ObjectId x : txn->second.written) {
+    for (Version& v : VersionsLocked(x)) {
+      if (v.owner == ts && !v.committed) v.committed = true;
+    }
+    PruneLocked(x);
+  }
+  txn->second.active = false;
+  ++stats_.committed;
+  txns_.erase(txn);
+  return Status::Ok();
+}
+
+Status MvtoEngine::AbortLocked(Ts ts) {
+  auto txn = txns_.find(ts);
+  if (txn == txns_.end() || !txn->second.active) return Status::Ok();
+  for (ObjectId x : txn->second.written) {
+    auto& vs = VersionsLocked(x);
+    vs.erase(std::remove_if(vs.begin(), vs.end(),
+                            [ts](const Version& v) {
+                              return !v.committed && v.owner == ts;
+                            }),
+             vs.end());
+  }
+  txn->second.active = false;
+  ++stats_.aborted;
+  txns_.erase(txn);
+  return Status::Ok();
+}
+
+void MvtoEngine::PruneLocked(ObjectId x) {
+  auto& vs = versions_.at(x);
+  if (vs.size() < 16) return;
+  // Versions strictly older than the newest committed version at or below
+  // the oldest active timestamp can never be read again.
+  Ts min_active = txns_.empty() ? next_ts_ : txns_.begin()->first;
+  std::size_t keep_from = 0;
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (vs[i].committed && vs[i].wts <= min_active) keep_from = i;
+  }
+  if (keep_from > 0) vs.erase(vs.begin(), vs.begin() + keep_from);
+}
+
+class MvtoHandle final : public txn::TxnHandle {
+ public:
+  MvtoHandle(MvtoEngine* eng, std::uint64_t ts, bool is_root)
+      : eng_(eng), ts_(ts), is_root_(is_root) {}
+
+  ~MvtoHandle() override {
+    if (is_root_ && !finished_) (void)Abort();
+  }
+
+  StatusOr<Value> Get(ObjectId x) override {
+    return Apply(x, action::Update::Read());
+  }
+  Status Put(ObjectId x, Value v) override {
+    return Apply(x, action::Update::Write(v)).status();
+  }
+  StatusOr<Value> Apply(ObjectId x, const action::Update& u) override;
+  StatusOr<std::unique_ptr<txn::TxnHandle>> BeginChild() override {
+    return std::unique_ptr<txn::TxnHandle>(
+        new MvtoHandle(eng_, ts_, /*is_root=*/false));
+  }
+  Status Commit() override;
+  Status Abort() override;
+
+ private:
+  MvtoEngine* eng_;
+  std::uint64_t ts_;
+  bool is_root_;
+  bool finished_ = false;
+};
+
+StatusOr<Value> MvtoHandle::Apply(ObjectId x, const action::Update& u) {
+  std::lock_guard<std::mutex> lk(eng_->mu_);
+  return eng_->AccessLocked(ts_, x, u);
+}
+
+Status MvtoHandle::Commit() {
+  std::lock_guard<std::mutex> lk(eng_->mu_);
+  if (!is_root_) return Status::Ok();
+  Status s = eng_->CommitLocked(ts_);
+  if (s.ok() || s.IsAborted()) finished_ = true;
+  return s;
+}
+
+Status MvtoHandle::Abort() {
+  std::lock_guard<std::mutex> lk(eng_->mu_);
+  if (is_root_) finished_ = true;
+  return eng_->AbortLocked(ts_);
+}
+
+std::unique_ptr<txn::TxnHandle> MvtoEngine::Begin() {
+  std::lock_guard<std::mutex> lk(mu_);
+  Ts ts = next_ts_++;
+  txns_.emplace(ts, TxnRec{});
+  ++stats_.begun;
+  return std::unique_ptr<txn::TxnHandle>(new MvtoHandle(this, ts, true));
+}
+
+Value MvtoEngine::ReadCommitted(ObjectId x) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto& vs = VersionsLocked(x);
+  for (auto it = vs.rbegin(); it != vs.rend(); ++it) {
+    if (it->committed) return it->value;
+  }
+  return action::kInitValue;
+}
+
+MvtoEngine::Stats MvtoEngine::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace rnt::baseline

@@ -1,0 +1,26 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rnt {
+
+Zipf::Zipf(std::size_t n, double theta) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::size_t Zipf::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace rnt

@@ -1,0 +1,110 @@
+#ifndef RNT_COMMON_RANDOM_H_
+#define RNT_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rnt {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Every randomized component of the library (executors, workload
+/// generators, failure injectors) takes an explicit seed so that test
+/// failures and benchmark runs are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t Below(std::uint64_t bound) {
+    assert(bound > 0);
+    // Debiased via rejection (Lemire-style threshold kept simple).
+    std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      std::uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Uniformly chooses an element of a non-empty vector.
+  template <typename T>
+  const T& Choose(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[Below(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = Below(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with skew theta.
+///
+/// theta = 0 is uniform; theta around 0.8-1.2 models the hot-key skew used
+/// throughout the benchmark suite (DESIGN.md E1/E8). Uses the standard
+/// inverse-CDF-over-precomputed-prefix-sums method; O(log n) per sample.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double theta);
+
+  /// Samples a key in [0, n). Hotter keys are smaller indices.
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace rnt
+
+#endif  // RNT_COMMON_RANDOM_H_

@@ -1,0 +1,174 @@
+#ifndef RNT_COMMON_STATUS_H_
+#define RNT_COMMON_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace rnt {
+
+/// Canonical error space for the RNT library.
+///
+/// The library does not throw exceptions (Google style); every fallible
+/// operation returns a `Status` or a `StatusOr<T>`. Transaction-level
+/// outcomes that are *expected* in normal operation (deadlock victim
+/// selection, conflict aborts, failure injection) are ordinary error codes,
+/// mirroring the paper's view of subtransaction failure as a tolerated,
+/// reportable event rather than a catastrophic one.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Generic precondition violation (event not in its domain).
+  kFailedPrecondition = 1,
+  /// Entity (action, object, lock entry) not found.
+  kNotFound = 2,
+  /// Entity already exists (e.g., action created twice).
+  kAlreadyExists = 3,
+  /// Caller misuse that is a programming error on the caller's side.
+  kInvalidArgument = 4,
+  /// The transaction was aborted (by itself, an ancestor, deadlock
+  /// resolution, or injected failure). Expected and recoverable.
+  kAborted = 5,
+  /// Lock acquisition timed out (timeout deadlock policy).
+  kTimeout = 6,
+  /// The operation is invalid in the entity's current state
+  /// (e.g., commit with open children).
+  kIllegalState = 7,
+  /// Internal invariant violation: a bug in the library.
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "ABORTED", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, value-semantic success-or-error result.
+///
+/// OK statuses carry no allocation; error statuses carry a code and a
+/// message. `Status` is annotated `[[nodiscard]]` so dropped errors are
+/// compile-time warnings.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status IllegalState(std::string msg) {
+    return Status(StatusCode::kIllegalState, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when the status represents a transaction abort — the one error
+  /// class a caller is expected to handle by retrying or compensating.
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+
+  /// Renders "CODE: message" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// A value-or-error result, analogous to absl::StatusOr.
+///
+/// Invariant: holds exactly one of a `T` (when `ok()`) or a non-OK
+/// `Status`. Accessing `value()` on an error aborts the process in debug
+/// builds; callers must check `ok()` first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  /// Implicit from value, per the absl convention: `return some_t;`.
+  StatusOr(T value) : rep_(std::move(value)) {}
+  /// Implicit from error status: `return Status::Aborted(...);`.
+  StatusOr(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The contained status: OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace rnt
+
+/// Propagates a non-OK Status from the current function.
+#define RNT_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::rnt::Status _rnt_status = (expr);          \
+    if (!_rnt_status.ok()) return _rnt_status;   \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error returns its status, otherwise
+/// binds the value to `lhs`.
+#define RNT_ASSIGN_OR_RETURN(lhs, expr)                  \
+  auto RNT_CONCAT_(_rnt_sor, __LINE__) = (expr);         \
+  if (!RNT_CONCAT_(_rnt_sor, __LINE__).ok())             \
+    return RNT_CONCAT_(_rnt_sor, __LINE__).status();     \
+  lhs = std::move(RNT_CONCAT_(_rnt_sor, __LINE__)).value()
+
+#define RNT_CONCAT_INNER_(a, b) a##b
+#define RNT_CONCAT_(a, b) RNT_CONCAT_INNER_(a, b)
+
+#endif  // RNT_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef RNT_COMMON_TYPES_H_
+#define RNT_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace rnt {
+
+/// Identifier of an action (transaction or access) in an ActionRegistry.
+/// Actions are the paper's "act" universe; id 0 is always the virtual root
+/// U that parents all top-level transactions.
+using ActionId = std::uint32_t;
+
+/// The distinguished root action U.
+inline constexpr ActionId kRootAction = 0;
+
+/// Sentinel meaning "no action".
+inline constexpr ActionId kInvalidAction =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Identifier of a data object (the paper's "obj" universe).
+using ObjectId = std::uint32_t;
+
+/// Identifier of a node in the distributed algebra's index set [k].
+using NodeId = std::uint32_t;
+
+/// Values stored in data objects. The paper allows arbitrary value sets;
+/// we instantiate values(x) = int64 for every object, which suffices for
+/// reads (identity updates), writes (constant updates), and the
+/// non-commuting arithmetic updates used to make serialization order
+/// observable. See DESIGN.md §2.
+using Value = std::int64_t;
+
+}  // namespace rnt
+
+#endif  // RNT_COMMON_TYPES_H_

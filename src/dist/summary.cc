@@ -1,0 +1,20 @@
+#include "dist/summary.h"
+
+#include <sstream>
+
+namespace rnt::dist {
+
+std::string ActionSummary::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [a, s] : entries_) {
+    if (!first) os << ", ";
+    first = false;
+    os << a << ":" << action::ActionStatusName(s);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace rnt::dist

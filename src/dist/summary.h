@@ -1,0 +1,114 @@
+#ifndef RNT_DIST_SUMMARY_H_
+#define RNT_DIST_SUMMARY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "action/action_tree.h"
+#include "common/random.h"
+#include "common/types.h"
+
+namespace rnt::dist {
+
+/// An action summary (paper §9.1): partial knowledge of action statuses.
+/// Unlike an action tree, the vertex set need not be closed under parent,
+/// and there is no root — a node may know of a grandchild's commit before
+/// ever hearing of the intermediate ancestors.
+///
+/// Statuses in a summary are monotone: once a node learns that an action
+/// is committed or aborted, merging older "active" knowledge does not
+/// regress it. (In the paper this is implicit: the home node is the only
+/// component that changes a status, and ∪ is used only to add knowledge.)
+class ActionSummary {
+ public:
+  ActionSummary() = default;
+
+  bool Contains(ActionId a) const { return entries_.count(a) != 0; }
+
+  /// Requires Contains(a).
+  action::ActionStatus StatusOf(ActionId a) const { return entries_.at(a); }
+
+  bool IsActive(ActionId a) const {
+    auto it = entries_.find(a);
+    return it != entries_.end() &&
+           it->second == action::ActionStatus::kActive;
+  }
+  bool IsCommitted(ActionId a) const {
+    auto it = entries_.find(a);
+    return it != entries_.end() &&
+           it->second == action::ActionStatus::kCommitted;
+  }
+  bool IsAborted(ActionId a) const {
+    auto it = entries_.find(a);
+    return it != entries_.end() &&
+           it->second == action::ActionStatus::kAborted;
+  }
+  bool IsDone(ActionId a) const {
+    auto it = entries_.find(a);
+    return it != entries_.end() &&
+           it->second != action::ActionStatus::kActive;
+  }
+
+  /// Adds `a` with status 'active'.
+  void AddActive(ActionId a) {
+    entries_.emplace(a, action::ActionStatus::kActive);
+  }
+
+  /// Sets the status of an already-present action.
+  void SetStatus(ActionId a, action::ActionStatus s) { entries_[a] = s; }
+
+  /// T <- T ∪ T′ (paper §9.1), with done-status priority.
+  void MergeFrom(const ActionSummary& other) {
+    for (const auto& [a, s] : other.entries_) {
+      auto [it, inserted] = entries_.emplace(a, s);
+      if (!inserted && it->second == action::ActionStatus::kActive) {
+        it->second = s;
+      }
+    }
+  }
+
+  /// T′ ≤ T: componentwise containment of vertices/committed/aborted.
+  bool IsSubsummaryOf(const ActionSummary& other) const {
+    for (const auto& [a, s] : entries_) {
+      auto it = other.entries_.find(a);
+      if (it == other.entries_.end()) return false;
+      if (s != action::ActionStatus::kActive && it->second != s) return false;
+    }
+    return true;
+  }
+
+  /// A uniformly random sub-summary (each entry kept with probability 1/2,
+  /// done statuses optionally weakened to active) — used by the random
+  /// executor to exercise partial-knowledge sends.
+  ActionSummary RandomSub(Rng& rng) const {
+    ActionSummary out;
+    for (const auto& [a, s] : entries_) {
+      if (!rng.Chance(0.5)) continue;
+      if (s != action::ActionStatus::kActive && rng.Chance(0.25)) {
+        out.entries_.emplace(a, action::ActionStatus::kActive);
+      } else {
+        out.entries_.emplace(a, s);
+      }
+    }
+    return out;
+  }
+
+  const std::map<ActionId, action::ActionStatus>& entries() const {
+    return entries_;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const ActionSummary&, const ActionSummary&) = default;
+
+ private:
+  std::map<ActionId, action::ActionStatus> entries_;
+};
+
+}  // namespace rnt::dist
+
+#endif  // RNT_DIST_SUMMARY_H_

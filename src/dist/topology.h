@@ -1,0 +1,80 @@
+#ifndef RNT_DIST_TOPOLOGY_H_
+#define RNT_DIST_TOPOLOGY_H_
+
+#include <cassert>
+#include <functional>
+#include <vector>
+
+#include "action/registry.h"
+#include "common/types.h"
+
+namespace rnt::dist {
+
+/// The placement functions of the distributed algebra (paper §9.1):
+///
+///   home : (act − {U}) ∪ obj → [k],  with home(A) = home(object(A)) for
+///                                    accesses;
+///   origin(A) = home(A)          if parent(A) = U,
+///             = home(parent(A))  otherwise.
+///
+/// `home` partitions actions and objects among the k nodes; `origin` is
+/// where an action is *created* (at its parent's node — a parent spawns
+/// children locally, then their execution migrates to their own home).
+class Topology {
+ public:
+  /// Builds a topology over `registry` with `k` nodes. `object_home`
+  /// assigns objects; `action_home` assigns non-access actions (accesses
+  /// are forced to their object's home, as the paper requires). Both must
+  /// return values < k.
+  Topology(const action::ActionRegistry* registry, NodeId k,
+           std::function<NodeId(ObjectId)> object_home,
+           std::function<NodeId(ActionId)> action_home)
+      : registry_(registry),
+        k_(k),
+        object_home_(std::move(object_home)),
+        action_home_(std::move(action_home)) {
+    assert(k_ > 0);
+  }
+
+  /// Convenience: round-robin placement by id.
+  static Topology RoundRobin(const action::ActionRegistry* registry,
+                             NodeId k) {
+    return Topology(
+        registry, k, [k](ObjectId x) { return static_cast<NodeId>(x % k); },
+        [k](ActionId a) { return static_cast<NodeId>(a % k); });
+  }
+
+  NodeId k() const { return k_; }
+
+  NodeId HomeOfObject(ObjectId x) const {
+    NodeId h = object_home_(x);
+    assert(h < k_);
+    return h;
+  }
+
+  NodeId HomeOfAction(ActionId a) const {
+    assert(a != kRootAction);
+    if (registry_->IsAccess(a)) return HomeOfObject(registry_->Object(a));
+    NodeId h = action_home_(a);
+    assert(h < k_);
+    return h;
+  }
+
+  NodeId Origin(ActionId a) const {
+    assert(a != kRootAction);
+    ActionId p = registry_->Parent(a);
+    return p == kRootAction ? HomeOfAction(a) : HomeOfAction(p);
+  }
+
+  const action::ActionRegistry& registry() const { return *registry_; }
+
+ private:
+  const action::ActionRegistry* registry_;
+  NodeId k_;
+  std::function<NodeId(ObjectId)> object_home_;
+  std::function<NodeId(ActionId)> action_home_;
+};
+
+}  // namespace rnt::dist
+
+#endif  // RNT_DIST_TOPOLOGY_H_

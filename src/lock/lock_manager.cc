@@ -1,0 +1,127 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+
+namespace rnt::lock {
+
+std::string_view LockModeName(LockMode m) {
+  return m == LockMode::kRead ? "read" : "write";
+}
+
+bool LockManager::Conflicts(const ObjectLocks& locks, TxnId t, LockMode mode,
+                            std::vector<TxnId>* out) const {
+  bool any = false;
+  auto consider = [&](TxnId q, const ModeSet& ms) {
+    if (q == t) return;  // own locks never conflict
+    // WRITE request conflicts with any lock by a non-ancestor;
+    // READ request conflicts only with WRITE locks by non-ancestors.
+    bool relevant = (mode == LockMode::kWrite) ? ms.Any() : ms.write;
+    if (!relevant) return;
+    if (ancestry_->IsAncestor(q, t)) return;
+    any = true;
+    if (out != nullptr &&
+        std::find(out->begin(), out->end(), q) == out->end()) {
+      out->push_back(q);
+    }
+  };
+  for (const auto& [q, ms] : locks.holders) consider(q, ms);
+  for (const auto& [q, ms] : locks.retainers) consider(q, ms);
+  return any;
+}
+
+bool LockManager::TryAcquire(ObjectId x, TxnId t, LockMode mode) {
+  mode = Effective(mode);
+  ObjectLocks& locks = objects_[x];
+  if (Conflicts(locks, t, mode, nullptr)) return false;
+  ModeSet& ms = locks.holders[t];
+  if (mode == LockMode::kRead) {
+    ms.read = true;
+  } else {
+    ms.write = true;
+  }
+  touched_[t].insert(x);
+  return true;
+}
+
+std::vector<TxnId> LockManager::Blockers(ObjectId x, TxnId t,
+                                         LockMode mode) const {
+  std::vector<TxnId> out;
+  auto it = objects_.find(x);
+  if (it == objects_.end()) return out;
+  Conflicts(it->second, t, Effective(mode), &out);
+  return out;
+}
+
+void LockManager::OnCommit(TxnId t, TxnId parent) {
+  auto it = touched_.find(t);
+  if (it == touched_.end()) return;
+  for (ObjectId x : it->second) {
+    auto ot = objects_.find(x);
+    if (ot == objects_.end()) continue;
+    ObjectLocks& locks = ot->second;
+    ModeSet merged;
+    if (auto h = locks.holders.find(t); h != locks.holders.end()) {
+      merged.Merge(h->second);
+      locks.holders.erase(h);
+    }
+    if (auto r = locks.retainers.find(t); r != locks.retainers.end()) {
+      merged.Merge(r->second);
+      locks.retainers.erase(r);
+    }
+    if (merged.Any() && parent != kNoTxn) {
+      locks.retainers[parent].Merge(merged);
+      touched_[parent].insert(x);
+    }
+    if (locks.Empty()) objects_.erase(ot);
+  }
+  touched_.erase(t);
+}
+
+void LockManager::OnAbort(TxnId t) {
+  auto it = touched_.find(t);
+  if (it == touched_.end()) return;
+  for (ObjectId x : it->second) {
+    auto ot = objects_.find(x);
+    if (ot == objects_.end()) continue;
+    ot->second.holders.erase(t);
+    ot->second.retainers.erase(t);
+    if (ot->second.Empty()) objects_.erase(ot);
+  }
+  touched_.erase(t);
+}
+
+bool LockManager::Holds(ObjectId x, TxnId t, LockMode mode) const {
+  auto it = objects_.find(x);
+  if (it == objects_.end()) return false;
+  auto h = it->second.holders.find(t);
+  if (h == it->second.holders.end()) return false;
+  return mode == LockMode::kRead ? h->second.read : h->second.write;
+}
+
+bool LockManager::Retains(ObjectId x, TxnId t, LockMode mode) const {
+  auto it = objects_.find(x);
+  if (it == objects_.end()) return false;
+  auto r = it->second.retainers.find(t);
+  if (r == it->second.retainers.end()) return false;
+  return mode == LockMode::kRead ? r->second.read : r->second.write;
+}
+
+std::size_t LockManager::HolderCount(ObjectId x) const {
+  auto it = objects_.find(x);
+  return it == objects_.end() ? 0 : it->second.holders.size();
+}
+
+std::size_t LockManager::RetainerCount(ObjectId x) const {
+  auto it = objects_.find(x);
+  return it == objects_.end() ? 0 : it->second.retainers.size();
+}
+
+std::size_t LockManager::RecordCount() const {
+  std::size_t n = 0;
+  for (const auto& [x, locks] : objects_) {
+    n += locks.holders.size() + locks.retainers.size();
+  }
+  return n;
+}
+
+}  // namespace rnt::lock

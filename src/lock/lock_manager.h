@@ -1,0 +1,138 @@
+#ifndef RNT_LOCK_LOCK_MANAGER_H_
+#define RNT_LOCK_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rnt::lock {
+
+/// Engine-level transaction identifier. Unlike ActionId (the a-priori
+/// naming scheme of the formal levels), TxnIds are minted dynamically by
+/// the transaction manager.
+using TxnId = std::uint64_t;
+
+/// Sentinel meaning "no transaction" — the parent of top-level
+/// transactions (the engine's stand-in for the paper's virtual root U).
+inline constexpr TxnId kNoTxn = 0;
+
+/// Lock modes of Moss's *complete* algorithm. The paper proves the
+/// simplified single-mode variant (every lock behaves like kWrite) and
+/// notes the read/write extension "should not be very difficult"; we
+/// implement both and ablate in bench_rw_modes (experiment E7).
+enum class LockMode : std::uint8_t { kRead = 0, kWrite = 1 };
+
+std::string_view LockModeName(LockMode m);
+
+/// Ancestry oracle the lock manager consults; implemented by the
+/// transaction manager over its live transaction tree.
+class Ancestry {
+ public:
+  virtual ~Ancestry() = default;
+  /// True iff `anc` is an ancestor of `desc` (reflexive). kNoTxn is an
+  /// ancestor of everything.
+  virtual bool IsAncestor(TxnId anc, TxnId desc) const = 0;
+};
+
+/// Moss's nested-transaction lock manager (the engine counterpart of the
+/// version/value-map levels' lock stacks).
+///
+/// Rules (Moss 1981 §, as summarized in the paper's §7-§9):
+///  * A transaction T may acquire a WRITE lock on x iff every transaction
+///    that holds or retains any lock on x is an ancestor of T.
+///  * T may acquire a READ lock on x iff every holder/retainer of a WRITE
+///    lock on x is an ancestor of T. (Concurrent sibling readers are
+///    therefore allowed — the concurrency the single-mode variant lacks.)
+///  * When T commits, its held and retained locks pass to parent(T) as
+///    *retained* locks (lock inheritance — the engine counterpart of
+///    release-lock's V(x, parent(A)) <- V(x, A)).
+///  * When T aborts, its locks are discarded (lose-lock).
+///
+/// A retained lock is not an operational lock: it marks that a descendant
+/// of the retainer wrote/read the object, so only the retainer's own
+/// descendants may touch it. Holding vs retaining matters for *re*-holding
+/// by the same transaction and for bookkeeping symmetry with the paper.
+///
+/// The lock manager is pure bookkeeping — no blocking, no threads. The
+/// transaction manager serializes calls and implements waiting, deadlock
+/// detection, and victim selection on top of TryAcquire/Blockers.
+class LockManager {
+ public:
+  struct Options {
+    /// Paper's simplified variant: treat every acquisition as WRITE.
+    bool single_mode = false;
+  };
+
+  LockManager(const Ancestry* ancestry, Options options)
+      : ancestry_(ancestry), options_(options) {}
+  explicit LockManager(const Ancestry* ancestry)
+      : LockManager(ancestry, Options{}) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Attempts to acquire `mode` on `x` for `t`. Returns true and records
+  /// the hold on success; returns false (no state change) on conflict.
+  bool TryAcquire(ObjectId x, TxnId t, LockMode mode);
+
+  /// The transactions whose holds/retentions block `t` from acquiring
+  /// `mode` on `x` (empty iff TryAcquire would succeed). Used to build
+  /// the wait-for graph.
+  std::vector<TxnId> Blockers(ObjectId x, TxnId t, LockMode mode) const;
+
+  /// Lock inheritance on commit: everything `t` holds or retains is
+  /// merged into `parent`'s retained set. A top-level commit
+  /// (parent == kNoTxn) releases the locks outright.
+  void OnCommit(TxnId t, TxnId parent);
+
+  /// Lock discard on abort.
+  void OnAbort(TxnId t);
+
+  // Introspection (tests, benches).
+  bool Holds(ObjectId x, TxnId t, LockMode mode) const;
+  bool Retains(ObjectId x, TxnId t, LockMode mode) const;
+  std::size_t HolderCount(ObjectId x) const;
+  std::size_t RetainerCount(ObjectId x) const;
+  /// Total number of (object, txn) lock records — the lock-table
+  /// footprint reported by bench_nesting_depth.
+  std::size_t RecordCount() const;
+
+ private:
+  struct ModeSet {
+    bool read = false;
+    bool write = false;
+    bool Any() const { return read || write; }
+    void Merge(const ModeSet& o) {
+      read |= o.read;
+      write |= o.write;
+    }
+  };
+  struct ObjectLocks {
+    std::map<TxnId, ModeSet> holders;
+    std::map<TxnId, ModeSet> retainers;
+    bool Empty() const { return holders.empty() && retainers.empty(); }
+  };
+
+  LockMode Effective(LockMode m) const {
+    return options_.single_mode ? LockMode::kWrite : m;
+  }
+
+  /// Collects conflicting transactions into `out` (if non-null); returns
+  /// whether any conflict exists.
+  bool Conflicts(const ObjectLocks& locks, TxnId t, LockMode mode,
+                 std::vector<TxnId>* out) const;
+
+  const Ancestry* ancestry_;
+  Options options_;
+  std::map<ObjectId, ObjectLocks> objects_;
+  /// Per-transaction index of touched objects, for O(touched) commit/abort.
+  std::map<TxnId, std::set<ObjectId>> touched_;
+};
+
+}  // namespace rnt::lock
+
+#endif  // RNT_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,118 @@
+#include "orphan/orphan.h"
+
+#include <sstream>
+
+#include "action/serializability.h"
+
+namespace rnt::orphan {
+
+bool IsOrphan(const aat::Aat& t, ActionId a) {
+  const action::ActionRegistry& reg = t.registry();
+  for (ActionId c = reg.Parent(a); c != kInvalidAction;
+       c = c == kRootAction ? kInvalidAction : reg.Parent(c)) {
+    if (c == kRootAction) break;
+    if (t.IsAborted(c)) return true;
+  }
+  return false;
+}
+
+std::vector<ActionId> Orphans(const aat::Aat& t) {
+  std::vector<ActionId> out;
+  for (ActionId a : t.Vertices()) {
+    if (a != kRootAction && IsOrphan(t, a)) out.push_back(a);
+  }
+  return out;
+}
+
+bool ExplainableBySubsequence(const action::ActionRegistry& reg, ObjectId x,
+                              const std::vector<ActionId>& preds, Value want) {
+  const std::size_t n = preds.size();
+  for (std::uint64_t mask = 0; mask < (1ull << n); ++mask) {
+    Value v = action::kInitValue;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1ull << i)) v = reg.UpdateOf(preds[i]).Apply(v);
+    }
+    if (v == want) return true;
+  }
+  (void)x;
+  return false;
+}
+
+Status CheckOrphanViewConsistency(const aat::Aat& t) {
+  const action::ActionRegistry& reg = t.registry();
+  for (ObjectId x : t.TouchedObjects()) {
+    for (ActionId a : t.Datasteps(x)) {
+      std::vector<ActionId> preds = aat::VData(t, a);
+      Value exact = action::ResultOf(reg, x, preds);
+      if (t.LabelOf(a) == exact) continue;
+      if (t.IsLive(a)) {
+        std::ostringstream os;
+        os << "live datastep " << a << " on x" << x << " saw "
+           << t.LabelOf(a) << " but its visible predecessors produce "
+           << exact;
+        return Status::Internal(os.str());
+      }
+      // Orphan: the view must at least be realizable in some execution —
+      // the fold of *some* subsequence of the visible predecessors
+      // (branches discarded by lose-lock before the orphan ran simply do
+      // not contribute in that execution).
+      if (preds.size() > kMaxOrphanExplainSize) {
+        return Status::FailedPrecondition(
+            "orphan view too large to explain exhaustively");
+      }
+      if (!ExplainableBySubsequence(reg, x, preds, t.LabelOf(a))) {
+        std::ostringstream os;
+        os << "orphaned datastep " << a << " on x" << x << " saw "
+           << t.LabelOf(a)
+           << ", which no subsequence of its visible predecessors produces "
+              "(out-of-thin-air view)";
+        return Status::Internal(os.str());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool OrphanSafeAatAlgebra::Defined(const State& s, const Event& e) const {
+  if (const auto* p = std::get_if<algebra::Perform>(&e)) {
+    if (!s.CanPerform(p->a)) return false;
+    ObjectId x = registry().Object(p->a);
+    // (d12) for every live datastep, as in the base algebra.
+    for (ActionId b : s.Datasteps(x)) {
+      if (s.IsLive(b) && !s.IsVisibleTo(b, p->a)) return false;
+    }
+    if (s.IsLive(p->a)) {
+      // Exact Moss value for live accesses, as in the base algebra.
+      return p->u == aat::MossValue(s, p->a);
+    }
+    // Strengthened (d13) for orphans: the value must be *realizable* —
+    // the fold of some subsequence of the currently visible predecessors
+    // (never out of thin air).
+    std::vector<ActionId> preds = s.VisibleDatasteps(p->a, x);
+    if (preds.size() > kMaxOrphanExplainSize) return false;
+    return ExplainableBySubsequence(registry(), x, preds, p->u);
+  }
+  return inner_.Defined(s, e);
+}
+
+std::vector<algebra::TreeEvent> EventCandidates(const aat::Aat& s) {
+  const action::ActionRegistry& reg = s.registry();
+  std::vector<algebra::TreeEvent> out;
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    if (!s.Contains(a)) {
+      out.push_back(algebra::Create{a});
+      continue;
+    }
+    if (!s.IsActive(a)) continue;
+    if (reg.IsAccess(a)) {
+      out.push_back(algebra::Perform{a, aat::MossValue(s, a)});
+      out.push_back(algebra::Abort{a});
+    } else {
+      out.push_back(algebra::Commit{a});
+      out.push_back(algebra::Abort{a});
+    }
+  }
+  return out;
+}
+
+}  // namespace rnt::orphan

@@ -1,0 +1,116 @@
+#ifndef RNT_ORPHAN_ORPHAN_H_
+#define RNT_ORPHAN_ORPHAN_H_
+
+#include <vector>
+
+#include "aat/aat.h"
+#include "aat/aat_algebra.h"
+#include "algebra/algebra.h"
+#include "common/status.h"
+
+namespace rnt::orphan {
+
+/// Orphan views (paper §1 and §10; Goree's thesis develops the theory).
+///
+/// An *orphan* is an action with an aborted ancestor — a subtransaction
+/// of a failed transaction that may still be executing somewhere in the
+/// distributed system. The paper's base correctness condition only
+/// constrains the *permanent* part of the tree, so the level-2 algebra
+/// deliberately leaves orphan performs unconstrained: precondition (d13)
+/// applies "if A is live in T" and an orphan may observe any value.
+///
+/// The Argus implementors wanted more: orphans should see *consistent*
+/// views — values that could have occurred in an execution in which they
+/// are not orphans — so that orphaned code cannot observe impossible
+/// states (and, say, fire missiles on garbage data) before the abort
+/// reaches it. This module provides:
+///
+///  * the orphan predicates and census over action trees;
+///  * `CheckOrphanViewConsistency`: every datastep, *dead or alive*,
+///    saw result(x, v-data(A)) — version compatibility over the whole
+///    tree, not just perm(T);
+///  * `OrphanSafeAatAlgebra`: the level-2 algebra with (d13) enforced
+///    unconditionally, specifying orphan-consistent behavior;
+///  * the observation (tested in orphan_test.cc) that Moss's locking
+///    levels provide orphan consistency *for free*: preconditions (d13)
+///    of 𝒜″/𝒜‴/ℬ hand every access the principal value, live or not, so
+///    every lower-level computation already satisfies the orphan-safe
+///    spec — the formal kernel of why Argus could aim for this property.
+
+/// All vertices that are orphans in T: live ∉, i.e. some ancestor
+/// aborted. (Aborted actions themselves are included when a *proper*
+/// ancestor aborted; an action that merely aborted itself is not an
+/// orphan.)
+std::vector<ActionId> Orphans(const aat::Aat& t);
+
+/// True iff A is an orphan in T: some proper ancestor of A is aborted.
+bool IsOrphan(const aat::Aat& t, ActionId a);
+
+/// Checks orphan-view consistency over the *full* tree (not perm(T)):
+///
+///  * a live datastep must be exactly version-compatible:
+///    label = result(x, v-data(A));
+///  * an orphaned datastep must have seen a view "that could occur during
+///    an execution in which it is not an orphan" (the paper's phrasing):
+///    label = result(x, S) for some *subsequence* S of v-data(A).
+///
+/// The subsequence relaxation is forced by the algorithm itself, not a
+/// convenience: lose-lock discards a dead branch's work from the lock
+/// stack, so an orphan performing afterwards correctly sees a world in
+/// which that branch aborted before contributing — a world that is
+/// realizable, just not the one the final tree records. A strict
+/// full-tree version-compatibility check would (and in our tests did)
+/// reject such legitimate views. What the property *rules out* is
+/// out-of-thin-air values: a label no subset of the visible work can
+/// explain (which plain 𝒜′ permits for orphans, precondition (d13) being
+/// conditional on liveness).
+///
+/// Orphan v-data sets larger than kMaxOrphanExplainSize make the
+/// subsequence search (exponential) infeasible and yield
+/// kFailedPrecondition; tests keep trees small.
+Status CheckOrphanViewConsistency(const aat::Aat& t);
+
+inline constexpr std::size_t kMaxOrphanExplainSize = 20;
+
+/// True iff some subsequence of `preds` (in data order) folds to `want` —
+/// the "realizable view" predicate used for orphans.
+bool ExplainableBySubsequence(const action::ActionRegistry& reg, ObjectId x,
+                              const std::vector<ActionId>& preds, Value want);
+
+/// The orphan-safe level-2 algebra: identical to aat::AatAlgebra except
+/// that perform's value precondition (d13) also binds orphans — a live
+/// access must see the exact Moss value, and an orphaned access must see
+/// a *realizable* value (the fold of some subsequence of its currently
+/// visible predecessors; see CheckOrphanViewConsistency for why exact
+/// compatibility is unattainable once lose-lock discards dead work).
+/// This is the specification an orphan-managing implementation (Goree's
+/// algorithm in Argus) must meet — and tests show Moss's locking levels
+/// already refine to it.
+class OrphanSafeAatAlgebra {
+ public:
+  using State = aat::Aat;
+  using Event = algebra::TreeEvent;
+
+  explicit OrphanSafeAatAlgebra(const action::ActionRegistry* registry)
+      : inner_(registry) {}
+
+  State Initial() const { return inner_.Initial(); }
+
+  bool Defined(const State& s, const Event& e) const;
+  void Apply(State& s, const Event& e) const { inner_.Apply(s, e); }
+
+  const action::ActionRegistry& registry() const { return inner_.registry(); }
+
+ private:
+  aat::AatAlgebra inner_;
+};
+
+static_assert(algebra::EventStateAlgebra<OrphanSafeAatAlgebra>);
+
+/// Candidate generator for the orphan-safe algebra (orphans get the Moss
+/// value only).
+std::vector<algebra::TreeEvent> EventCandidates(const aat::Aat& s);
+
+}  // namespace rnt::orphan
+
+#endif  // RNT_ORPHAN_ORPHAN_H_

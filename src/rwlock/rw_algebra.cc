@@ -1,0 +1,145 @@
+#include "rwlock/rw_algebra.h"
+
+#include <sstream>
+
+namespace rnt::rwlock {
+
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::LoseLock;
+using algebra::Perform;
+using algebra::ReleaseLock;
+
+bool RwAlgebra::Defined(const State& s, const Event& e) const {
+  if (const auto* c = std::get_if<Create>(&e)) return s.tree.CanCreate(c->a);
+  if (const auto* c = std::get_if<Commit>(&e)) return s.tree.CanCommit(c->a);
+  if (const auto* c = std::get_if<Abort>(&e)) return s.tree.CanAbort(c->a);
+  if (const auto* p = std::get_if<Perform>(&e)) {
+    if (!s.tree.CanPerform(p->a)) return false;
+    ObjectId x = registry_->Object(p->a);
+    const bool is_read = registry_->UpdateOf(p->a).IsRead();
+    // (d12-W)/(d12-R): write holders always constrain; read holders
+    // constrain only writers.
+    for (ActionId w : s.vmap.WriteHolders(x)) {
+      if (!registry_->IsProperAncestor(w, p->a)) return false;
+    }
+    if (!is_read) {
+      for (ActionId r : s.vmap.ReadHolders(x)) {
+        if (!registry_->IsProperAncestor(r, p->a)) return false;
+      }
+    }
+    // (d13): both modes observe the principal writer's value.
+    return p->u == s.vmap.PrincipalValue(x, *registry_);
+  }
+  if (const auto* r = std::get_if<ReleaseLock>(&e)) {
+    if (r->a == kRootAction) return false;
+    if (!s.tree.IsCommitted(r->a)) return false;
+    return s.vmap.IsWriteDefined(r->x, r->a) || s.vmap.HoldsRead(r->x, r->a);
+  }
+  const auto& l = std::get<LoseLock>(e);
+  if (l.a == kRootAction) return false;
+  if (!s.tree.Contains(l.a) || s.tree.IsLive(l.a)) return false;
+  return s.vmap.IsWriteDefined(l.x, l.a) || s.vmap.HoldsRead(l.x, l.a);
+}
+
+void RwAlgebra::Apply(State& s, const Event& e) const {
+  if (const auto* c = std::get_if<Create>(&e)) {
+    s.tree.ApplyCreate(c->a);
+  } else if (const auto* c = std::get_if<Commit>(&e)) {
+    s.tree.ApplyCommit(c->a);
+  } else if (const auto* c = std::get_if<Abort>(&e)) {
+    s.tree.ApplyAbort(c->a);
+  } else if (const auto* p = std::get_if<Perform>(&e)) {
+    ObjectId x = registry_->Object(p->a);
+    s.tree.ApplyPerform(p->a, p->u);
+    if (registry_->UpdateOf(p->a).IsRead()) {
+      s.vmap.AddReader(x, p->a);
+    } else {
+      s.vmap.SetWrite(x, p->a, registry_->UpdateOf(p->a).Apply(p->u));
+    }
+  } else if (const auto* r = std::get_if<ReleaseLock>(&e)) {
+    ActionId parent = registry_->Parent(r->a);
+    if (s.vmap.IsWriteDefined(r->x, r->a)) {
+      s.vmap.SetWrite(r->x, parent, s.vmap.GetWrite(r->x, r->a));
+      s.vmap.EraseWrite(r->x, r->a);
+    }
+    if (s.vmap.HoldsRead(r->x, r->a)) {
+      // Read holds inherited by the parent; at the top they simply end
+      // (the root constrains nobody).
+      if (parent != kRootAction) s.vmap.AddReader(r->x, parent);
+      s.vmap.EraseReader(r->x, r->a);
+    }
+  } else {
+    const auto& l = std::get<LoseLock>(e);
+    s.vmap.EraseWrite(l.x, l.a);
+    s.vmap.EraseReader(l.x, l.a);
+  }
+}
+
+std::vector<algebra::LockEvent> EventCandidates(const RwState& s) {
+  const action::ActionRegistry& reg = s.tree.registry();
+  std::vector<algebra::LockEvent> out;
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    if (!s.tree.Contains(a)) {
+      out.push_back(Create{a});
+      continue;
+    }
+    if (!s.tree.IsActive(a)) continue;
+    if (reg.IsAccess(a)) {
+      out.push_back(Perform{a, s.vmap.PrincipalValue(reg.Object(a), reg)});
+      out.push_back(Abort{a});
+    } else {
+      out.push_back(Commit{a});
+      out.push_back(Abort{a});
+    }
+  }
+  for (ObjectId x : s.vmap.TouchedObjects()) {
+    std::vector<ActionId> holders = s.vmap.WriteHolders(x);
+    std::vector<ActionId> readers = s.vmap.ReadHolders(x);
+    holders.insert(holders.end(), readers.begin(), readers.end());
+    for (ActionId a : holders) {
+      if (a == kRootAction) continue;
+      if (s.tree.IsCommitted(a)) out.push_back(ReleaseLock{a, x});
+      if (s.tree.Contains(a) && !s.tree.IsLive(a)) out.push_back(LoseLock{a, x});
+    }
+  }
+  return out;
+}
+
+Status CheckRwInvariants(const RwState& s) {
+  const action::ActionRegistry& reg = s.tree.registry();
+  RNT_RETURN_IF_ERROR(s.vmap.CheckWellFormed(reg));
+  for (ObjectId x : s.vmap.TouchedObjects()) {
+    std::vector<ActionId> writers = s.vmap.WriteHolders(x);
+    std::vector<ActionId> readers = s.vmap.ReadHolders(x);
+    // (a) holders activated.
+    for (ActionId a : writers) {
+      if (a != kRootAction && !s.tree.Contains(a)) {
+        return Status::Internal("rw invariant: write holder not in tree");
+      }
+    }
+    for (ActionId a : readers) {
+      if (!s.tree.Contains(a)) {
+        return Status::Internal("rw invariant: read holder not in tree");
+      }
+    }
+    // (c) every write holder is ancestrally comparable with every other
+    // holder of either kind — the lock rules' footprint.
+    for (ActionId w : writers) {
+      if (w == kRootAction) continue;
+      for (ActionId r : readers) {
+        if (r == w) continue;
+        if (!reg.IsAncestor(w, r) && !reg.IsAncestor(r, w)) {
+          std::ostringstream os;
+          os << "rw invariant: write holder " << w
+             << " incomparable with read holder " << r << " on x" << x;
+          return Status::Internal(os.str());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rnt::rwlock

@@ -1,0 +1,76 @@
+#ifndef RNT_RWLOCK_RW_ALGEBRA_H_
+#define RNT_RWLOCK_RW_ALGEBRA_H_
+
+#include <vector>
+
+#include "aat/aat.h"
+#include "algebra/algebra.h"
+#include "algebra/events.h"
+#include "common/status.h"
+#include "rwlock/rw_value_map.h"
+
+namespace rnt::rwlock {
+
+/// State of the read/write Moss algebra: an AAT plus the two-mode lock
+/// state.
+struct RwState {
+  aat::Aat tree;
+  RwValueMap vmap;
+};
+
+/// Moss's *complete* algorithm as an event-state algebra — the read/write
+/// refinement of the paper's level 4 (𝒜‴), i.e. the extension §10 calls
+/// "not very difficult" but never formalizes. Events reuse the LockEvent
+/// vocabulary; an access's mode is its update function (identity = read).
+///
+/// Differences from the single-mode ValueMapAlgebra:
+///  * perform-read (d12-R): only *write* holders must be proper ancestors
+///    — concurrent sibling readers are legal states;
+///  * perform-read effect: adds a read hold, does NOT extend the write
+///    chain (reads produce no version);
+///  * perform-write (d12-W): every holder of either kind must be a proper
+///    ancestor;
+///  * release-lock on commit passes both kinds of holds to the parent;
+///    lose-lock discards both.
+///
+/// Correctness target (validated in tests/rwlock_test.cc): computable
+/// states satisfy the conflict-restricted characterization
+/// aat::IsPermDataSerializableRw — the Theorem 9 analog for two lock
+/// modes — and the read/write *engine*'s traces, lowered with modes, are
+/// valid computations of this algebra (conformance).
+class RwAlgebra {
+ public:
+  using State = RwState;
+  using Event = algebra::LockEvent;
+
+  explicit RwAlgebra(const action::ActionRegistry* registry)
+      : registry_(registry) {}
+
+  State Initial() const {
+    return RwState{action::ActionTree(registry_), RwValueMap()};
+  }
+
+  bool Defined(const State& s, const Event& e) const;
+  void Apply(State& s, const Event& e) const;
+
+  const action::ActionRegistry& registry() const { return *registry_; }
+
+ private:
+  const action::ActionRegistry* registry_;
+};
+
+static_assert(algebra::EventStateAlgebra<RwAlgebra>);
+
+/// Candidate generator for random exploration.
+std::vector<algebra::LockEvent> EventCandidates(const RwState& s);
+
+/// Invariants of computable RwAlgebra states (Lemma 16 analog):
+///  (a) holders are activated actions;
+///  (b) the write chain is an ancestor chain;
+///  (c) no non-ancestor write holder coexists with a read holder outside
+///      its subtree (the mutual-exclusion shape of the rules).
+Status CheckRwInvariants(const RwState& s);
+
+}  // namespace rnt::rwlock
+
+#endif  // RNT_RWLOCK_RW_ALGEBRA_H_

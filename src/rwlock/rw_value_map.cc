@@ -1,0 +1,67 @@
+#include "rwlock/rw_value_map.h"
+
+#include <sstream>
+
+namespace rnt::rwlock {
+
+ActionId RwValueMap::PrincipalWriter(ObjectId x,
+                                     const action::ActionRegistry& reg) const {
+  ActionId best = kRootAction;
+  std::uint32_t best_depth = 0;
+  auto it = objects_.find(x);
+  if (it != objects_.end()) {
+    for (const auto& [a, v] : it->second.writes) {
+      if (reg.Depth(a) >= best_depth) {
+        best = a;
+        best_depth = reg.Depth(a);
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<ActionId> RwValueMap::WriteHolders(ObjectId x) const {
+  std::vector<ActionId> out;
+  auto it = objects_.find(x);
+  if (it != objects_.end()) {
+    for (const auto& [a, v] : it->second.writes) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<ActionId> RwValueMap::ReadHolders(ObjectId x) const {
+  std::vector<ActionId> out;
+  auto it = objects_.find(x);
+  if (it != objects_.end()) {
+    out.assign(it->second.readers.begin(), it->second.readers.end());
+  }
+  return out;
+}
+
+std::vector<ObjectId> RwValueMap::TouchedObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [x, e] : objects_) out.push_back(x);
+  return out;
+}
+
+Status RwValueMap::CheckWellFormed(const action::ActionRegistry& reg) const {
+  for (const auto& [x, entry] : objects_) {
+    std::vector<ActionId> holders;
+    for (const auto& [a, v] : entry.writes) holders.push_back(a);
+    for (std::size_t i = 0; i < holders.size(); ++i) {
+      for (std::size_t j = i + 1; j < holders.size(); ++j) {
+        if (!reg.IsAncestor(holders[i], holders[j]) &&
+            !reg.IsAncestor(holders[j], holders[i])) {
+          std::ostringstream os;
+          os << "rw write holders " << holders[i] << " and " << holders[j]
+             << " for x" << x << " not on one chain";
+          return Status::Internal(os.str());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rnt::rwlock

@@ -1,0 +1,110 @@
+#ifndef RNT_RWLOCK_RW_VALUE_MAP_H_
+#define RNT_RWLOCK_RW_VALUE_MAP_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "action/registry.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rnt::rwlock {
+
+/// Lock state of one object in Moss's *complete* algorithm (read/write
+/// modes) — the extension the paper's §10 leaves as future work.
+///
+/// Structure per object x:
+///  * a *write chain*: as in the single-mode value map, a chain of
+///    ancestors each holding the latest value available to it (the
+///    deepest is the principal writer);
+///  * *read holders*: a set of (action -> nothing) entries, NOT required
+///    to lie on one chain — this is exactly what the single-mode model
+///    cannot express and why sibling readers can share.
+///
+/// Rules (mirroring lock/lock_manager.h at the algebra level):
+///  * perform-write by A requires every write-chain holder and every
+///    read holder to be a proper ancestor of A;
+///  * perform-read by A requires every write-chain holder to be a proper
+///    ancestor of A (read holders do not constrain readers);
+///  * release (on commit) moves both kinds of holds to the parent;
+///  * lose (on death) discards them.
+class RwValueMap {
+ public:
+  RwValueMap() = default;
+
+  // --- write chain (same contract as valuemap::ValueMap) ---
+  bool IsWriteDefined(ObjectId x, ActionId a) const {
+    if (a == kRootAction) return true;
+    auto it = objects_.find(x);
+    return it != objects_.end() && it->second.writes.count(a) != 0;
+  }
+  Value GetWrite(ObjectId x, ActionId a) const {
+    auto it = objects_.find(x);
+    if (it == objects_.end()) return action::kInitValue;
+    auto jt = it->second.writes.find(a);
+    return jt == it->second.writes.end() ? action::kInitValue : jt->second;
+  }
+  void SetWrite(ObjectId x, ActionId a, Value v) { objects_[x].writes[a] = v; }
+  void EraseWrite(ObjectId x, ActionId a) {
+    if (a == kRootAction) return;
+    Prune(x, [&](Entry& e) { e.writes.erase(a); });
+  }
+
+  // --- read holders ---
+  bool HoldsRead(ObjectId x, ActionId a) const {
+    auto it = objects_.find(x);
+    return it != objects_.end() && it->second.readers.count(a) != 0;
+  }
+  void AddReader(ObjectId x, ActionId a) { objects_[x].readers.insert(a); }
+  void EraseReader(ObjectId x, ActionId a) {
+    Prune(x, [&](Entry& e) { e.readers.erase(a); });
+  }
+
+  /// The deepest write holder (principal writer); U when none.
+  ActionId PrincipalWriter(ObjectId x, const action::ActionRegistry& reg) const;
+
+  /// The value the next access must see: the principal writer's value.
+  Value PrincipalValue(ObjectId x, const action::ActionRegistry& reg) const {
+    return GetWrite(x, PrincipalWriter(x, reg));
+  }
+
+  /// Write-chain holders (excluding the implicit root).
+  std::vector<ActionId> WriteHolders(ObjectId x) const;
+  /// Read holders.
+  std::vector<ActionId> ReadHolders(ObjectId x) const;
+  /// Any holder of either kind.
+  bool HoldsAny(ObjectId x, ActionId a) const {
+    return IsWriteDefined(x, a) ? a != kRootAction : HoldsRead(x, a);
+  }
+
+  std::vector<ObjectId> TouchedObjects() const;
+
+  /// Well-formedness: write holders on one ancestor chain (read holders
+  /// are unconstrained — that is the point of the extension).
+  Status CheckWellFormed(const action::ActionRegistry& reg) const;
+
+  friend bool operator==(const RwValueMap&, const RwValueMap&) = default;
+
+ private:
+  struct Entry {
+    std::map<ActionId, Value> writes;
+    std::set<ActionId> readers;
+    bool Empty() const { return writes.empty() && readers.empty(); }
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  template <typename Fn>
+  void Prune(ObjectId x, Fn&& fn) {
+    auto it = objects_.find(x);
+    if (it == objects_.end()) return;
+    fn(it->second);
+    if (it->second.Empty()) objects_.erase(it);
+  }
+
+  std::map<ObjectId, Entry> objects_;
+};
+
+}  // namespace rnt::rwlock
+
+#endif  // RNT_RWLOCK_RW_VALUE_MAP_H_

@@ -1,0 +1,231 @@
+#include "sim/dist_driver.h"
+
+#include <vector>
+
+namespace rnt::sim {
+
+namespace {
+
+using dist::DistAlgebra;
+using dist::DistEvent;
+using dist::DistState;
+
+/// Scheduler for one RunProgram execution.
+///
+/// The schedule is a depth-first traversal of the universal action tree:
+/// an inner action is created on first visit, its children are processed
+/// left-to-right, and it commits (or aborts, for abort_set members) after
+/// its subtree completes; accesses are created and performed in place.
+/// Because every subtree to the "left" of the current access has fully
+/// committed, any lock standing in the way can always be walked up (via
+/// release-lock events) to an ancestor of the requester — the schedule is
+/// deadlock-free by construction, making message counts well-defined for
+/// experiment E5. (Concurrent schedules with deadlock handling live in
+/// the engine, not here; this driver exercises the *distributed algebra*.)
+class Driver {
+ public:
+  Driver(const DistAlgebra& alg, const DriverOptions& options)
+      : alg_(alg),
+        topo_(alg.topology()),
+        reg_(alg.registry()),
+        options_(options),
+        state_(alg.Initial()),
+        children_(reg_.size()) {
+    for (ActionId a = 1; a < reg_.size(); ++a) {
+      children_[reg_.Parent(a)].push_back(a);
+    }
+  }
+
+  StatusOr<DriverRun> Run() {
+    for (ActionId a : options_.abort_set) {
+      if (!reg_.Valid(a) || reg_.IsAccess(a) || a == kRootAction) {
+        return Status::InvalidArgument(
+            "abort_set must contain registered non-access actions");
+      }
+    }
+    for (ActionId top : children_[kRootAction]) {
+      RNT_RETURN_IF_ERROR(Visit(top));
+    }
+    // Final drain: walk remaining locks up to the root U everywhere.
+    for (NodeId i = 0; i < topo_.k(); ++i) {
+      for (ObjectId x : state_.nodes[i].vmap.TouchedObjects()) {
+        RNT_RETURN_IF_ERROR(DrainToRoot(i, x));
+      }
+    }
+    return DriverRun{stats_, std::move(state_)};
+  }
+
+ private:
+  Status Fail(const char* what, ActionId a) {
+    return Status::FailedPrecondition(std::string("dist driver: ") + what +
+                                      " for action " + std::to_string(a));
+  }
+
+  /// Ships node i's full summary to j (one message).
+  void Sync(NodeId i, NodeId j) {
+    if (i == j || state_.nodes[i].summary.empty()) return;
+    dist::Send send{i, j, state_.nodes[i].summary};
+    stats_.summary_entries += send.summary.size();
+    if (alg_.Defined(state_, DistEvent{send})) {
+      alg_.Apply(state_, DistEvent{std::move(send)});
+      DistEvent recv{dist::Receive{j, state_.buffer[j]}};
+      if (alg_.Defined(state_, recv)) alg_.Apply(state_, recv);
+      ++stats_.messages;
+    }
+  }
+
+  void Broadcast(NodeId i) {
+    for (NodeId j = 0; j < topo_.k(); ++j) Sync(i, j);
+  }
+
+  bool ApplyNodeEvent(const DistEvent& e) {
+    if (!alg_.Defined(state_, e)) return false;
+    alg_.Apply(state_, e);
+    ++stats_.node_events;
+    if (options_.propagation == Propagation::kEager) {
+      NodeId doer = alg_.Doer(e);
+      if (doer < topo_.k()) Broadcast(doer);
+    }
+    return true;
+  }
+
+  /// Depth-first execution of the subtree rooted at `a`.
+  Status Visit(ActionId a) {
+    // Create at the origin, ferrying parent knowledge if missing.
+    NodeId origin = topo_.Origin(a);
+    ActionId p = reg_.Parent(a);
+    if (p != kRootAction && !state_.nodes[origin].summary.Contains(p)) {
+      Sync(topo_.Origin(p), origin);
+    }
+    if (!ApplyNodeEvent(DistEvent{dist::NodeCreate{origin, a}})) {
+      return Fail("create blocked", a);
+    }
+    created_at_[a] = origin;
+
+    if (reg_.IsAccess(a)) {
+      return Perform(a);
+    }
+
+    if (options_.abort_set.count(a)) {
+      // Abort at the home node; the subtree is never started.
+      NodeId home = topo_.HomeOfAction(a);
+      if (!state_.nodes[home].summary.Contains(a)) Sync(origin, home);
+      if (!ApplyNodeEvent(DistEvent{dist::NodeAbort{home, a}})) {
+        return Fail("abort blocked", a);
+      }
+      aborted_.insert(a);
+      ++stats_.aborts;
+      return Status::Ok();
+    }
+
+    for (ActionId c : children_[a]) {
+      RNT_RETURN_IF_ERROR(Visit(c));
+    }
+
+    // Commit at the home node: it must know of a and of every child's
+    // completion.
+    NodeId home = topo_.HomeOfAction(a);
+    if (!state_.nodes[home].summary.Contains(a)) Sync(origin, home);
+    for (ActionId c : children_[a]) {
+      if (state_.nodes[home].summary.IsActive(c)) {
+        Sync(StatusAuthority(c), home);
+      }
+    }
+    if (!ApplyNodeEvent(DistEvent{dist::NodeCommit{home, a}})) {
+      return Fail("commit blocked", a);
+    }
+    ++stats_.commits;
+    return Status::Ok();
+  }
+
+  /// The node that knows an action's final status: its home (where
+  /// perform/commit/abort happen).
+  NodeId StatusAuthority(ActionId a) const { return topo_.HomeOfAction(a); }
+
+  /// The aborted ancestor (or self) of a dead action, if any.
+  ActionId AbortedAncestor(ActionId a) const {
+    for (ActionId c : reg_.AncestorChain(a)) {
+      if (c != kRootAction && aborted_.count(c)) return c;
+    }
+    return kInvalidAction;
+  }
+
+  /// Walks blocking locks on x upward (release) or away (lose) until the
+  /// requester `a` could acquire; every holder's relevant ancestors are
+  /// already committed by the DFS discipline, so this terminates.
+  Status UnblockLocks(NodeId i, ObjectId x, ActionId a) {
+    for (int guard = 0; guard < options_.max_rounds; ++guard) {
+      const auto* entry = state_.nodes[i].vmap.EntriesFor(x);
+      if (entry == nullptr) return Status::Ok();
+      ActionId blocker = kInvalidAction;
+      for (const auto& [b, v] : *entry) {
+        if (b != kRootAction &&
+            (a == kInvalidAction || !reg_.IsProperAncestor(b, a))) {
+          blocker = b;
+          break;
+        }
+      }
+      if (blocker == kInvalidAction) return Status::Ok();
+      ActionId dead = AbortedAncestor(blocker);
+      if (dead != kInvalidAction) {
+        if (!state_.nodes[i].summary.IsAborted(dead)) {
+          Sync(StatusAuthority(dead), i);
+        }
+        if (!ApplyNodeEvent(DistEvent{dist::NodeLoseLock{i, blocker, x}})) {
+          return Fail("lose-lock blocked", blocker);
+        }
+        ++stats_.loses;
+      } else {
+        if (!state_.nodes[i].summary.IsCommitted(blocker)) {
+          Sync(StatusAuthority(blocker), i);
+        }
+        if (!ApplyNodeEvent(
+                DistEvent{dist::NodeReleaseLock{i, blocker, x}})) {
+          return Fail("release-lock blocked", blocker);
+        }
+        ++stats_.releases;
+      }
+    }
+    return Fail("lock walk did not terminate", a);
+  }
+
+  Status Perform(ActionId a) {
+    ObjectId x = reg_.Object(a);
+    NodeId i = topo_.HomeOfObject(x);
+    if (!state_.nodes[i].summary.Contains(a)) {
+      Sync(created_at_.at(a), i);
+    }
+    RNT_RETURN_IF_ERROR(UnblockLocks(i, x, a));
+    Value u = state_.nodes[i].vmap.PrincipalValue(x, reg_);
+    if (!ApplyNodeEvent(DistEvent{dist::NodePerform{i, a, u}})) {
+      return Fail("perform blocked", a);
+    }
+    ++stats_.performs;
+    return Status::Ok();
+  }
+
+  /// Final drain of an object's locks all the way to the root U.
+  Status DrainToRoot(NodeId i, ObjectId x) {
+    return UnblockLocks(i, x, kInvalidAction);
+  }
+
+  const DistAlgebra& alg_;
+  const dist::Topology& topo_;
+  const action::ActionRegistry& reg_;
+  const DriverOptions& options_;
+  DistState state_;
+  std::vector<std::vector<ActionId>> children_;
+  std::map<ActionId, NodeId> created_at_;
+  std::set<ActionId> aborted_;
+  DriverStats stats_;
+};
+
+}  // namespace
+
+StatusOr<DriverRun> RunProgram(const DistAlgebra& alg,
+                               const DriverOptions& options) {
+  Driver driver(alg, options);
+  return driver.Run();
+}
+
+}  // namespace rnt::sim

@@ -1,0 +1,63 @@
+#ifndef RNT_SIM_DIST_DRIVER_H_
+#define RNT_SIM_DIST_DRIVER_H_
+
+#include <cstdint>
+#include <set>
+
+#include "common/status.h"
+#include "dist/dist_algebra.h"
+
+namespace rnt::sim {
+
+/// How eagerly nodes propagate action-summary knowledge (the ablation of
+/// experiment E5: the paper's algebra allows *any* sub-summary to flow at
+/// *any* time; a real system must pick a policy).
+enum class Propagation {
+  /// Sync knowledge between two nodes only when a pending step needs it.
+  kLazy,
+  /// After every node event, broadcast the doer's summary to all nodes.
+  kEager,
+};
+
+struct DriverOptions {
+  Propagation propagation = Propagation::kLazy;
+  /// Actions to abort (instead of commit) once created; their
+  /// descendants are never created. Exercises the lose-lock path.
+  std::set<ActionId> abort_set;
+  /// Safety bound on scheduler rounds.
+  int max_rounds = 100000;
+};
+
+struct DriverStats {
+  std::uint64_t node_events = 0;       // create/commit/abort/perform/locks
+  std::uint64_t messages = 0;          // send+receive pairs
+  std::uint64_t summary_entries = 0;   // total entries shipped
+  std::uint64_t performs = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t loses = 0;
+  int rounds = 0;
+};
+
+struct DriverRun {
+  DriverStats stats;
+  dist::DistState final_state;
+};
+
+/// Executes the *entire* registered program on the distributed algebra:
+/// every action in the registry is created at its origin, accesses
+/// perform at their objects' homes under Moss locking, parents commit
+/// bottom-up at their homes, and locks drain back to the root U —
+/// propagating summaries per `options.propagation` and counting the
+/// messages that the paper's model leaves unconstrained.
+///
+/// Returns kFailedPrecondition if the program cannot make progress within
+/// max_rounds (which would indicate a driver bug — the algebra itself is
+/// deadlock-free for this tree-structured schedule).
+StatusOr<DriverRun> RunProgram(const dist::DistAlgebra& alg,
+                               const DriverOptions& options = {});
+
+}  // namespace rnt::sim
+
+#endif  // RNT_SIM_DIST_DRIVER_H_

@@ -1,0 +1,71 @@
+#include "spec/spec_algebra.h"
+
+namespace rnt::spec {
+
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::Perform;
+
+bool SpecAlgebra::Defined(const State& s, const Event& e) const {
+  // Explicit preconditions first (cheap), then the implicit constraint C
+  // on the result. Per the paper, only commit and perform events can
+  // cause perm(T) to lose serializability.
+  bool needs_c_check = false;
+  if (const auto* c = std::get_if<Create>(&e)) {
+    if (!s.CanCreate(c->a)) return false;
+  } else if (const auto* c = std::get_if<Commit>(&e)) {
+    if (!s.CanCommit(c->a)) return false;
+    needs_c_check = true;
+  } else if (const auto* c = std::get_if<Abort>(&e)) {
+    if (!s.CanAbort(c->a)) return false;
+  } else if (const auto* c = std::get_if<Perform>(&e)) {
+    if (!s.CanPerform(c->a)) return false;
+    needs_c_check = true;
+  }
+  if (!options_.enforce_serializability || !needs_c_check) return true;
+  State result = s;
+  Apply(result, e);
+  return action::IsPermSerializable(result, options_.oracle);
+}
+
+void SpecAlgebra::Apply(State& s, const Event& e) const {
+  if (const auto* c = std::get_if<Create>(&e)) {
+    s.ApplyCreate(c->a);
+  } else if (const auto* c = std::get_if<Commit>(&e)) {
+    s.ApplyCommit(c->a);
+  } else if (const auto* c = std::get_if<Abort>(&e)) {
+    s.ApplyAbort(c->a);
+  } else if (const auto* c = std::get_if<Perform>(&e)) {
+    s.ApplyPerform(c->a, c->u);
+  }
+}
+
+std::vector<algebra::TreeEvent> EventCandidates(const action::ActionTree& s) {
+  const action::ActionRegistry& reg = s.registry();
+  std::vector<algebra::TreeEvent> out;
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    if (!s.Contains(a)) {
+      out.push_back(Create{a});
+      continue;
+    }
+    if (!s.IsActive(a)) continue;
+    if (reg.IsAccess(a)) {
+      // Natural value: replaying the visible datasteps in their
+      // activation order (which is what a well-behaved implementation
+      // sees), plus perturbations that should usually be rejected by C.
+      ObjectId x = reg.Object(a);
+      std::vector<ActionId> vis = s.VisibleDatasteps(a, x);
+      Value natural = action::ResultOf(reg, x, vis);
+      out.push_back(Perform{a, natural});
+      out.push_back(Perform{a, natural + 1});
+      out.push_back(Abort{a});
+    } else {
+      out.push_back(Commit{a});
+      out.push_back(Abort{a});
+    }
+  }
+  return out;
+}
+
+}  // namespace rnt::spec

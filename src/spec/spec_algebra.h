@@ -1,0 +1,69 @@
+#ifndef RNT_SPEC_SPEC_ALGEBRA_H_
+#define RNT_SPEC_SPEC_ALGEBRA_H_
+
+#include <vector>
+
+#include "action/action_tree.h"
+#include "action/serializability.h"
+#include "algebra/algebra.h"
+#include "algebra/events.h"
+
+namespace rnt::spec {
+
+/// Level 1: the algebra 𝒜 based on action trees (paper §4).
+///
+/// This algebra *is the specification*: states are action trees, events
+/// are create/commit/abort/perform with the paper's preconditions (a1),
+/// (b1), (c1), (d1), and there is an implicit precondition on every event
+/// that the *result* satisfies the global invariant C — perm(T) remains
+/// serializable. Everything a correct nested-transaction implementation
+/// may do is a valid computation of this algebra; the four simulation
+/// mappings of the paper map every lower level into it.
+///
+/// The C-check executes the exhaustive serializability oracle on the
+/// event's result, so Defined() is exponential in tree size — appropriate
+/// for a specification. As the paper notes, only commit and perform can
+/// violate C, so the check is skipped for create/abort. Construction with
+/// `enforce_serializability = false` yields the "raw" tree algebra, used
+/// when serializability of a run is established by other means (Theorem 14
+/// via the level-2 refinement) and re-checking would be redundant.
+class SpecAlgebra {
+ public:
+  using State = action::ActionTree;
+  using Event = algebra::TreeEvent;
+
+  struct Options {
+    /// Enforce the implicit global constraint C on commit/perform.
+    bool enforce_serializability = true;
+    action::OracleOptions oracle;
+  };
+
+  explicit SpecAlgebra(const action::ActionRegistry* registry)
+      : SpecAlgebra(registry, Options{}) {}
+  SpecAlgebra(const action::ActionRegistry* registry, Options options)
+      : registry_(registry), options_(options) {}
+
+  State Initial() const { return action::ActionTree(registry_); }
+
+  bool Defined(const State& s, const Event& e) const;
+  void Apply(State& s, const Event& e) const;
+
+  const action::ActionRegistry& registry() const { return *registry_; }
+
+ private:
+  const action::ActionRegistry* registry_;
+  Options options_;
+};
+
+static_assert(algebra::EventStateAlgebra<SpecAlgebra>);
+
+/// Proposes candidate events for random exploration of 𝒜: create/commit/
+/// abort for every registered action, and perform events for active
+/// accesses with the "natural" value (result of the currently visible
+/// datasteps in activation order) plus a few perturbed values so that the
+/// oracle-based domain check is actually exercised on both sides.
+std::vector<algebra::TreeEvent> EventCandidates(const action::ActionTree& s);
+
+}  // namespace rnt::spec
+
+#endif  // RNT_SPEC_SPEC_ALGEBRA_H_

@@ -1,0 +1,76 @@
+#ifndef RNT_TXN_ENGINE_H_
+#define RNT_TXN_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "action/update.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rnt::txn {
+
+/// Abstract handle to one (possibly nested) transaction.
+///
+/// This is the engine-neutral API the examples, workloads, and benchmarks
+/// program against. The nested engine (txn::TransactionManager) implements
+/// real subtransactions; the baselines (baseline::FlatEngine,
+/// baseline::MvtoEngine) implement the same surface with flattened
+/// semantics so identical workload code runs on all engines.
+///
+/// Usage contract:
+///  * `Get`/`Put`/`Apply` perform one access each; a kAborted result means
+///    this transaction (or an ancestor) is dead — the caller should stop
+///    issuing operations and let the handle destruct (or call Abort()).
+///  * `BeginChild` opens a subtransaction; the parent must not commit
+///    while children are open. Child failure does NOT doom the parent:
+///    handling the child's kAborted status and retrying is exactly the
+///    recovery-block pattern the paper's introduction motivates.
+///  * Destroying a handle whose transaction is still active aborts it
+///    (RAII: no leaked transactions).
+class TxnHandle {
+ public:
+  virtual ~TxnHandle() = default;
+
+  /// Read access: returns the value visible to this transaction.
+  virtual StatusOr<Value> Get(ObjectId x) = 0;
+
+  /// Write access: blind write of `v`.
+  virtual Status Put(ObjectId x, Value v) = 0;
+
+  /// General access applying `update`; returns the value *seen* (the
+  /// paper's label). Get(x) == Apply(x, Update::Read()).
+  virtual StatusOr<Value> Apply(ObjectId x, const action::Update& update) = 0;
+
+  /// Opens a subtransaction. Fails with kAborted if this transaction is
+  /// already dead.
+  virtual StatusOr<std::unique_ptr<TxnHandle>> BeginChild() = 0;
+
+  /// Commits this transaction relative to its parent. Fails with
+  /// kIllegalState if children are still open, kAborted if dead.
+  virtual Status Commit() = 0;
+
+  /// Aborts this transaction and (transitively) its live descendants.
+  /// Idempotent on dead transactions.
+  virtual Status Abort() = 0;
+};
+
+/// Abstract engine: mints top-level transactions and exposes the
+/// permanently committed state.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Starts a top-level transaction.
+  virtual std::unique_ptr<TxnHandle> Begin() = 0;
+
+  /// The committed (top-level durable) value of `x`.
+  virtual Value ReadCommitted(ObjectId x) = 0;
+
+  /// Engine name for benchmark reporting.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rnt::txn
+
+#endif  // RNT_TXN_ENGINE_H_

@@ -1,0 +1,41 @@
+#include "txn/recovery.h"
+
+namespace rnt::txn {
+
+Status RunInChild(TxnHandle& parent, int max_retries,
+                  const std::function<Status(TxnHandle&)>& body) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    auto child = parent.BeginChild();
+    if (!child.ok()) return child.status();  // parent dead: bubble up
+    Status s = body(**child);
+    if (s.ok()) {
+      s = (*child)->Commit();
+      if (s.ok()) return Status::Ok();
+    }
+    (void)(*child)->Abort();
+    last = s;
+    // If the parent is gone, the next BeginChild fails and we bubble its
+    // status up; otherwise this is the recovery-block case and the loop
+    // retries the child in place.
+  }
+  return last;
+}
+
+Status RunTransaction(Engine& engine, int max_attempts,
+                      const std::function<Status(TxnHandle&)>& body) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto t = engine.Begin();
+    Status s = body(*t);
+    if (s.ok()) {
+      s = t->Commit();
+      if (s.ok()) return Status::Ok();
+    }
+    (void)t->Abort();
+    last = s;
+  }
+  return last;
+}
+
+}  // namespace rnt::txn

@@ -1,0 +1,41 @@
+#ifndef RNT_TXN_RECOVERY_H_
+#define RNT_TXN_RECOVERY_H_
+
+#include <functional>
+
+#include "txn/engine.h"
+
+namespace rnt::txn {
+
+/// Recovery-block combinators (paper §1: the nested-transaction
+/// generalization of recovery blocks to concurrent programming).
+///
+/// These wrap the begin/commit/abort/retry choreography the paper's
+/// programming style implies, so application code reads as intent:
+///
+///   Status s = RunTransaction(engine, 5, [&](TxnHandle& t) {
+///     RNT_RETURN_IF_ERROR(RunInChild(t, 3, [&](TxnHandle& step) {
+///       return step.Put(kAccount, 100);
+///     }));
+///     return RunInChild(t, 3, [&](TxnHandle& step) {
+///       return step.Put(kLedger, 1);
+///     });
+///   });
+
+/// Runs `body` in a fresh subtransaction of `parent`. On a non-OK body
+/// status or failed commit the child is aborted and retried in place, up
+/// to `max_retries` extra attempts — unless the parent itself has died
+/// (kAborted bubbles up immediately so the caller can restart higher up).
+/// Returns the final child status.
+Status RunInChild(TxnHandle& parent, int max_retries,
+                  const std::function<Status(TxnHandle&)>& body);
+
+/// Runs `body` in a fresh top-level transaction, committing on success.
+/// Retries the whole transaction (fresh Begin) up to `max_attempts`
+/// times; an aborted attempt's effects are fully rolled back each time.
+Status RunTransaction(Engine& engine, int max_attempts,
+                      const std::function<Status(TxnHandle&)>& body);
+
+}  // namespace rnt::txn
+
+#endif  // RNT_TXN_RECOVERY_H_

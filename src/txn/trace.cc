@@ -1,0 +1,136 @@
+#include "txn/trace.h"
+
+#include <sstream>
+#include <set>
+#include <unordered_map>
+
+namespace rnt::txn {
+
+StatusOr<ReplayedTrace> ReplayTrace(const Trace& trace) {
+  auto registry = std::make_unique<action::ActionRegistry>();
+  std::unordered_map<lock::TxnId, ActionId> id_map;
+  id_map[lock::kNoTxn] = kRootAction;
+
+  // First pass: register every transaction and access in event order so
+  // parents precede children in the registry.
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEvent::Kind::kBegin) {
+      auto p = id_map.find(e.parent);
+      if (p == id_map.end()) {
+        return Status::Internal("trace begins txn under unknown parent");
+      }
+      id_map[e.id] = registry->NewAction(p->second);
+    } else if (e.kind == TraceEvent::Kind::kPerform) {
+      auto p = id_map.find(e.parent);
+      if (p == id_map.end()) {
+        return Status::Internal("trace performs access under unknown txn");
+      }
+      id_map[e.id] = registry->NewAccess(p->second, e.object, e.update);
+    }
+  }
+
+  // Second pass: replay, enforcing the level-1 preconditions. Any
+  // violation is an engine bug.
+  action::ActionTree tree(registry.get());
+  std::size_t idx = 0;
+  for (const TraceEvent& e : trace.events) {
+    ActionId a = id_map.at(e.id);
+    auto fail = [&](const char* what) {
+      std::ostringstream os;
+      os << "trace replay: " << what << " violated at event " << idx
+         << " (action " << a << ")";
+      return Status::Internal(os.str());
+    };
+    switch (e.kind) {
+      case TraceEvent::Kind::kBegin:
+        if (!tree.CanCreate(a)) return fail("create precondition");
+        tree.ApplyCreate(a);
+        break;
+      case TraceEvent::Kind::kCommit:
+        if (!tree.CanCommit(a)) return fail("commit precondition");
+        tree.ApplyCommit(a);
+        break;
+      case TraceEvent::Kind::kAbort:
+        if (!tree.CanAbort(a)) return fail("abort precondition");
+        tree.ApplyAbort(a);
+        break;
+      case TraceEvent::Kind::kPerform:
+        if (!tree.CanCreate(a)) return fail("access create precondition");
+        tree.ApplyCreate(a);
+        if (!tree.CanPerform(a)) return fail("perform precondition");
+        tree.ApplyPerform(a, e.seen);
+        break;
+    }
+    ++idx;
+  }
+  return ReplayedTrace{std::move(registry), std::move(tree)};
+}
+
+StatusOr<LoweredTrace> LowerTraceToLockEvents(const Trace& trace) {
+  auto registry = std::make_unique<action::ActionRegistry>();
+  std::unordered_map<lock::TxnId, ActionId> id_map;
+  id_map[lock::kNoTxn] = kRootAction;
+  // Objects whose lock each transaction currently holds (in the lowered
+  // model: actions with a V(x, ·) entry).
+  std::unordered_map<ActionId, std::set<ObjectId>> held;
+  std::vector<algebra::LockEvent> events;
+
+  for (const TraceEvent& e : trace.events) {
+    switch (e.kind) {
+      case TraceEvent::Kind::kBegin: {
+        auto p = id_map.find(e.parent);
+        if (p == id_map.end()) {
+          return Status::Internal("trace begins txn under unknown parent");
+        }
+        ActionId a = registry->NewAction(p->second);
+        id_map[e.id] = a;
+        events.push_back(algebra::Create{a});
+        break;
+      }
+      case TraceEvent::Kind::kPerform: {
+        auto p = id_map.find(e.parent);
+        if (p == id_map.end()) {
+          return Status::Internal("trace performs access under unknown txn");
+        }
+        ActionId acc = registry->NewAccess(p->second, e.object, e.update);
+        id_map[e.id] = acc;
+        events.push_back(algebra::Create{acc});
+        events.push_back(algebra::Perform{acc, e.seen});
+        // The engine's lock belongs to the transaction: pass the access's
+        // lock up immediately.
+        events.push_back(algebra::ReleaseLock{acc, e.object});
+        held[p->second].insert(e.object);
+        break;
+      }
+      case TraceEvent::Kind::kCommit: {
+        ActionId a = id_map.at(e.id);
+        events.push_back(algebra::Commit{a});
+        ActionId parent = registry->Parent(a);
+        auto it = held.find(a);
+        if (it != held.end()) {
+          for (ObjectId x : it->second) {
+            events.push_back(algebra::ReleaseLock{a, x});
+            if (parent != kRootAction) held[parent].insert(x);
+          }
+          held.erase(it);
+        }
+        break;
+      }
+      case TraceEvent::Kind::kAbort: {
+        ActionId a = id_map.at(e.id);
+        events.push_back(algebra::Abort{a});
+        auto it = held.find(a);
+        if (it != held.end()) {
+          for (ObjectId x : it->second) {
+            events.push_back(algebra::LoseLock{a, x});
+          }
+          held.erase(it);
+        }
+        break;
+      }
+    }
+  }
+  return LoweredTrace{std::move(registry), std::move(events)};
+}
+
+}  // namespace rnt::txn

@@ -1,0 +1,161 @@
+#ifndef RNT_TXN_TRANSACTION_MANAGER_H_
+#define RNT_TXN_TRANSACTION_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "action/update.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "lock/lock_manager.h"
+#include "txn/engine.h"
+#include "txn/trace.h"
+
+namespace rnt::txn {
+
+class Transaction;
+
+/// The core library: a multithreaded nested-transaction engine running
+/// Moss's locking algorithm — the operational counterpart of the paper's
+/// level-4 algebra with the read/write extension.
+///
+/// Responsibilities:
+///  * transaction tree bookkeeping (begin/commit/abort, open children);
+///  * the value-map store: each writer holds a private version; commit
+///    merges it into the parent's version (top-level commit makes it
+///    durable), abort discards it — exactly (d24)/(e21)/(f21);
+///  * lock acquisition with blocking waits, deadlock handling (wait-for
+///    graph cycle detection or timeouts), and victim abort;
+///  * cascading abort of live descendants (a dead ancestor orphans and
+///    kills its subtree);
+///  * optional execution tracing for offline serializability checking.
+///
+/// Concurrency model: one global mutex guards all engine state; blocked
+/// acquirers wait on a condition variable and are woken by every commit/
+/// abort. This favors auditability over raw scalability; benchmark
+/// comparisons against the flat baseline remain apples-to-apples because
+/// both engines share the same skeleton (see DESIGN.md E1).
+class TransactionManager final : public Engine, private lock::Ancestry {
+ public:
+  struct Options {
+    /// Use the paper's simplified single-mode locks (every access locks
+    /// exclusively) instead of read/write modes.
+    bool single_mode_locks = false;
+    /// Detect deadlocks via wait-for-graph cycles and abort the requester
+    /// (default). When false, rely on lock_wait_timeout instead.
+    bool deadlock_detection = true;
+    /// Maximum total wait for one lock acquisition (timeout policy, and a
+    /// backstop under detection).
+    std::chrono::milliseconds lock_wait_timeout{2000};
+    /// Record a trace for offline action-tree reconstruction.
+    bool record_trace = false;
+  };
+
+  TransactionManager();
+  explicit TransactionManager(Options options);
+  ~TransactionManager() override;
+
+  TransactionManager(const TransactionManager&) = delete;
+  TransactionManager& operator=(const TransactionManager&) = delete;
+
+  // Engine interface.
+  std::unique_ptr<TxnHandle> Begin() override;
+  Value ReadCommitted(ObjectId x) override;
+  std::string name() const override { return "nested-moss"; }
+
+  /// Moves the recorded trace out (thread-safe). Meaningful only with
+  /// Options::record_trace.
+  Trace TakeTrace();
+
+  /// Engine counters, for tests and benchmark reporting.
+  struct Stats {
+    std::uint64_t begun = 0;
+    std::uint64_t committed = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t deadlock_aborts = 0;
+    std::uint64_t timeout_aborts = 0;
+    std::uint64_t cascade_aborts = 0;
+    std::uint64_t lock_waits = 0;
+    std::uint64_t accesses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  friend class Transaction;
+
+  enum class TxnState : std::uint8_t { kActive, kCommitted, kAborted };
+
+  struct TxnInfo {
+    lock::TxnId parent = lock::kNoTxn;
+    TxnState state = TxnState::kActive;
+    std::uint32_t open_children = 0;
+    std::vector<lock::TxnId> children;
+    /// Objects whose value map carries an entry for this txn.
+    std::set<ObjectId> written;
+  };
+
+  // lock::Ancestry (called under mu_).
+  bool IsAncestor(lock::TxnId anc, lock::TxnId desc) const override;
+
+  // All private methods below require mu_ held.
+  StatusOr<lock::TxnId> BeginLocked(lock::TxnId parent);
+  Status CommitLocked(lock::TxnId t);
+  Status AbortLocked(lock::TxnId t, bool cascading);
+  StatusOr<Value> AccessLocked(std::unique_lock<std::mutex>& lk,
+                               lock::TxnId t, ObjectId x,
+                               const action::Update& update);
+  Value VisibleValueLocked(ObjectId x, lock::TxnId t) const;
+  bool DeadlockFromLocked(lock::TxnId start) const;
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  lock::TxnId next_id_ = 1;
+  std::map<lock::TxnId, TxnInfo> txns_;
+  lock::LockManager locks_;
+  /// Committed top-level state (absent => init value 0).
+  std::map<ObjectId, Value> committed_;
+  /// Uncommitted versions: object -> (txn -> private value).
+  std::map<ObjectId, std::map<lock::TxnId, Value>> uncommitted_;
+  /// Wait-for edges of currently blocked acquirers.
+  std::map<lock::TxnId, std::vector<lock::TxnId>> waiting_;
+  Trace trace_;
+  Stats stats_;
+};
+
+/// Concrete handle for TransactionManager transactions. Created via
+/// TransactionManager::Begin / Transaction::BeginChild only.
+class Transaction final : public TxnHandle {
+ public:
+  ~Transaction() override;
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  StatusOr<Value> Get(ObjectId x) override;
+  Status Put(ObjectId x, Value v) override;
+  StatusOr<Value> Apply(ObjectId x, const action::Update& update) override;
+  StatusOr<std::unique_ptr<TxnHandle>> BeginChild() override;
+  Status Commit() override;
+  Status Abort() override;
+
+  lock::TxnId id() const { return id_; }
+
+ private:
+  friend class TransactionManager;
+  Transaction(TransactionManager* mgr, lock::TxnId id) : mgr_(mgr), id_(id) {}
+
+  TransactionManager* mgr_;
+  lock::TxnId id_;
+  bool finished_ = false;  // commit/abort called through this handle
+};
+
+}  // namespace rnt::txn
+
+#endif  // RNT_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,72 @@
+#include "valuemap/value_map.h"
+
+#include <sstream>
+
+namespace rnt::valuemap {
+
+ActionId ValueMap::PrincipalAction(ObjectId x,
+                                   const action::ActionRegistry& reg) const {
+  ActionId best = kRootAction;
+  std::uint32_t best_depth = 0;
+  auto it = objects_.find(x);
+  if (it != objects_.end()) {
+    for (const auto& [a, v] : it->second) {
+      if (reg.Depth(a) >= best_depth) {
+        best = a;
+        best_depth = reg.Depth(a);
+      }
+    }
+  }
+  return best;
+}
+
+Value ValueMap::PrincipalValue(ObjectId x,
+                               const action::ActionRegistry& reg) const {
+  return Get(x, PrincipalAction(x, reg));
+}
+
+std::vector<ObjectId> ValueMap::TouchedObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [x, entry] : objects_) out.push_back(x);
+  return out;
+}
+
+Status ValueMap::CheckWellFormed(const action::ActionRegistry& reg) const {
+  for (const auto& [x, entry] : objects_) {
+    std::vector<ActionId> holders;
+    for (const auto& [a, v] : entry) holders.push_back(a);
+    for (std::size_t i = 0; i < holders.size(); ++i) {
+      for (std::size_t j = i + 1; j < holders.size(); ++j) {
+        if (!reg.IsAncestor(holders[i], holders[j]) &&
+            !reg.IsAncestor(holders[j], holders[i])) {
+          std::ostringstream os;
+          os << "value-map holders " << holders[i] << " and " << holders[j]
+             << " for x" << x << " not on one chain";
+          return Status::Internal(os.str());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+bool operator==(const ValueMap& a, const ValueMap& b) {
+  auto ita = a.objects_.begin();
+  auto itb = b.objects_.begin();
+  auto skip_trivial = [](auto& it, const auto& end) {
+    while (it != end && ValueMap::IsTrivial(it->second)) ++it;
+  };
+  for (;;) {
+    skip_trivial(ita, a.objects_.end());
+    skip_trivial(itb, b.objects_.end());
+    if (ita == a.objects_.end() || itb == b.objects_.end()) {
+      return ita == a.objects_.end() && itb == b.objects_.end();
+    }
+    if (ita->first != itb->first || ita->second != itb->second) return false;
+    ++ita;
+    ++itb;
+  }
+}
+
+}  // namespace rnt::valuemap

@@ -1,0 +1,85 @@
+#ifndef RNT_VALUEMAP_VALUE_MAP_H_
+#define RNT_VALUEMAP_VALUE_MAP_H_
+
+#include <map>
+#include <vector>
+
+#include "action/registry.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rnt::valuemap {
+
+/// A value map (paper §8.1): a partial mapping V from obj × act to values,
+/// retaining only the *latest value* available to each lock holder —
+/// the optimization of the level-3 version map that Moss's algorithm
+/// actually keeps.
+///
+/// Well-formedness: V(x, U) is defined for all x (implicitly init(x) = 0
+/// when no explicit entry exists), and the defined actions for one object
+/// lie on a single ancestor chain.
+class ValueMap {
+ public:
+  using Entry = std::map<ActionId, Value>;
+
+  ValueMap() = default;
+
+  bool IsDefined(ObjectId x, ActionId a) const {
+    if (a == kRootAction) return true;
+    auto it = objects_.find(x);
+    return it != objects_.end() && it->second.count(a) != 0;
+  }
+
+  /// V(x, a); the implicit root entry is init(x) = 0. Requires
+  /// IsDefined(x, a).
+  Value Get(ObjectId x, ActionId a) const {
+    auto it = objects_.find(x);
+    if (it == objects_.end()) return action::kInitValue;
+    auto jt = it->second.find(a);
+    if (jt == it->second.end()) return action::kInitValue;
+    return jt->second;
+  }
+
+  void Set(ObjectId x, ActionId a, Value v) { objects_[x][a] = v; }
+
+  void Erase(ObjectId x, ActionId a) {
+    if (a == kRootAction) return;
+    auto it = objects_.find(x);
+    if (it == objects_.end()) return;
+    it->second.erase(a);
+    if (it->second.empty()) objects_.erase(it);
+  }
+
+  /// The deepest defined action — the principal action for x.
+  ActionId PrincipalAction(ObjectId x, const action::ActionRegistry& reg) const;
+
+  /// V(x, principal) — the principal value.
+  Value PrincipalValue(ObjectId x, const action::ActionRegistry& reg) const;
+
+  const Entry* EntriesFor(ObjectId x) const {
+    auto it = objects_.find(x);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+
+  std::vector<ObjectId> TouchedObjects() const;
+
+  /// Chain property check.
+  Status CheckWellFormed(const action::ActionRegistry& reg) const;
+
+  /// Canonical equality: an explicit root entry equal to init(x) with no
+  /// other holders is equivalent to no entry at all.
+  friend bool operator==(const ValueMap& a, const ValueMap& b);
+
+ private:
+  static bool IsTrivial(const Entry& e) {
+    return e.empty() ||
+           (e.size() == 1 && e.begin()->first == kRootAction &&
+            e.begin()->second == action::kInitValue);
+  }
+
+  std::map<ObjectId, Entry> objects_;
+};
+
+}  // namespace rnt::valuemap
+
+#endif  // RNT_VALUEMAP_VALUE_MAP_H_

@@ -1,0 +1,96 @@
+#include "valuemap/value_map_algebra.h"
+
+#include "action/serializability.h"
+
+namespace rnt::valuemap {
+
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::LoseLock;
+using algebra::Perform;
+using algebra::ReleaseLock;
+
+bool ValueMapAlgebra::Defined(const State& s, const Event& e) const {
+  if (const auto* c = std::get_if<Create>(&e)) return s.tree.CanCreate(c->a);
+  if (const auto* c = std::get_if<Commit>(&e)) return s.tree.CanCommit(c->a);
+  if (const auto* c = std::get_if<Abort>(&e)) return s.tree.CanAbort(c->a);
+  if (const auto* p = std::get_if<Perform>(&e)) {
+    if (!s.tree.CanPerform(p->a)) return false;  // (d11)
+    ObjectId x = registry_->Object(p->a);
+    if (const auto* entry = s.vmap.EntriesFor(x)) {  // (d12)
+      for (const auto& [b, v] : *entry) {
+        if (!registry_->IsProperAncestor(b, p->a)) return false;
+      }
+    }
+    return p->u == s.vmap.PrincipalValue(x, *registry_);  // (d13)
+  }
+  if (const auto* r = std::get_if<ReleaseLock>(&e)) {
+    if (r->a == kRootAction) return false;
+    return s.vmap.IsDefined(r->x, r->a) && s.tree.IsCommitted(r->a);
+  }
+  const auto& l = std::get<LoseLock>(e);
+  if (l.a == kRootAction) return false;
+  return s.vmap.IsDefined(l.x, l.a) && s.tree.Contains(l.a) &&
+         !s.tree.IsLive(l.a);
+}
+
+void ValueMapAlgebra::Apply(State& s, const Event& e) const {
+  if (const auto* c = std::get_if<Create>(&e)) {
+    s.tree.ApplyCreate(c->a);
+  } else if (const auto* c = std::get_if<Commit>(&e)) {
+    s.tree.ApplyCommit(c->a);
+  } else if (const auto* c = std::get_if<Abort>(&e)) {
+    s.tree.ApplyAbort(c->a);
+  } else if (const auto* p = std::get_if<Perform>(&e)) {
+    ObjectId x = registry_->Object(p->a);
+    s.tree.ApplyPerform(p->a, p->u);
+    // (d24): retain only the updated value.
+    s.vmap.Set(x, p->a, registry_->UpdateOf(p->a).Apply(p->u));
+  } else if (const auto* r = std::get_if<ReleaseLock>(&e)) {
+    s.vmap.Set(r->x, registry_->Parent(r->a), s.vmap.Get(r->x, r->a));
+    s.vmap.Erase(r->x, r->a);
+  } else {
+    const auto& l = std::get<LoseLock>(e);
+    s.vmap.Erase(l.x, l.a);
+  }
+}
+
+ValueMap Eval(const versionmap::VersionMap& vm,
+              const action::ActionRegistry& reg) {
+  ValueMap out;
+  for (ObjectId x : vm.TouchedObjects()) {
+    for (const auto& [a, seq] : *vm.EntriesFor(x)) {
+      out.Set(x, a, action::ResultOf(reg, x, seq));
+    }
+  }
+  return out;
+}
+
+std::vector<algebra::LockEvent> EventCandidates(const ValState& s) {
+  const action::ActionRegistry& reg = s.tree.registry();
+  std::vector<algebra::LockEvent> out;
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    if (!s.tree.Contains(a)) {
+      out.push_back(Create{a});
+      continue;
+    }
+    if (!s.tree.IsActive(a)) continue;
+    if (reg.IsAccess(a)) {
+      out.push_back(Perform{a, s.vmap.PrincipalValue(reg.Object(a), reg)});
+      out.push_back(Abort{a});
+    } else {
+      out.push_back(Commit{a});
+      out.push_back(Abort{a});
+    }
+  }
+  for (ObjectId x : s.vmap.TouchedObjects()) {
+    for (const auto& [a, v] : *s.vmap.EntriesFor(x)) {
+      if (s.tree.IsCommitted(a)) out.push_back(ReleaseLock{a, x});
+      if (s.tree.Contains(a) && !s.tree.IsLive(a)) out.push_back(LoseLock{a, x});
+    }
+  }
+  return out;
+}
+
+}  // namespace rnt::valuemap

@@ -1,0 +1,66 @@
+#ifndef RNT_VALUEMAP_VALUE_MAP_ALGEBRA_H_
+#define RNT_VALUEMAP_VALUE_MAP_ALGEBRA_H_
+
+#include <vector>
+
+#include "aat/aat.h"
+#include "algebra/algebra.h"
+#include "algebra/events.h"
+#include "common/status.h"
+#include "valuemap/value_map.h"
+#include "versionmap/version_map.h"
+
+namespace rnt::valuemap {
+
+/// State of the level-4 algebra 𝒜‴: an AAT plus a value map (paper §8.2).
+struct ValState {
+  aat::Aat tree;
+  ValueMap vmap;
+};
+
+/// Level 4: the *optimized* locking algebra — Moss's algorithm in its
+/// centralized, single-lock-mode form (paper §8). Identical to level 3
+/// except that each lock holder retains only the latest value of the
+/// object (effect d24: V(x, A) <- update(A)(u)) instead of the whole
+/// access sequence.
+///
+/// The paper's point at this level: correctness of the information-poor
+/// algorithm follows from the information-rich one via a possibilities
+/// mapping h″(T, V) = {(T, W) : eval(W) = V} — the discarded sequences are
+/// re-introduced as *sets* of possible abstract states. Our executable
+/// counterpart maintains a witness W by replaying the same events at level
+/// 3 and checks eval(W) = V after every step (see tests/refinement_test).
+class ValueMapAlgebra {
+ public:
+  using State = ValState;
+  using Event = algebra::LockEvent;
+
+  explicit ValueMapAlgebra(const action::ActionRegistry* registry)
+      : registry_(registry) {}
+
+  State Initial() const {
+    return ValState{action::ActionTree(registry_), ValueMap()};
+  }
+
+  bool Defined(const State& s, const Event& e) const;
+  void Apply(State& s, const Event& e) const;
+
+  const action::ActionRegistry& registry() const { return *registry_; }
+
+ private:
+  const action::ActionRegistry* registry_;
+};
+
+static_assert(algebra::EventStateAlgebra<ValueMapAlgebra>);
+
+/// eval(V) for a version map (paper §8.1): the value map with the same
+/// domain, eval(V)(x, A) = result(x, V(x, A)).
+ValueMap Eval(const versionmap::VersionMap& vm,
+              const action::ActionRegistry& reg);
+
+/// Candidate generator for random exploration of 𝒜‴.
+std::vector<algebra::LockEvent> EventCandidates(const ValState& s);
+
+}  // namespace rnt::valuemap
+
+#endif  // RNT_VALUEMAP_VALUE_MAP_ALGEBRA_H_

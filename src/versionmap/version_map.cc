@@ -1,0 +1,80 @@
+#include "versionmap/version_map.h"
+
+#include <sstream>
+
+#include "action/serializability.h"
+
+namespace rnt::versionmap {
+
+ActionId VersionMap::PrincipalAction(ObjectId x,
+                                     const action::ActionRegistry& reg) const {
+  ActionId best = kRootAction;
+  std::uint32_t best_depth = 0;
+  auto it = objects_.find(x);
+  if (it != objects_.end()) {
+    for (const auto& [a, seq] : it->second) {
+      if (reg.Depth(a) >= best_depth) {
+        best = a;
+        best_depth = reg.Depth(a);
+      }
+    }
+  }
+  return best;
+}
+
+Value VersionMap::PrincipalValue(ObjectId x,
+                                 const action::ActionRegistry& reg) const {
+  std::vector<ActionId> seq = Get(x, PrincipalAction(x, reg));
+  return action::ResultOf(reg, x, seq);
+}
+
+std::vector<ObjectId> VersionMap::TouchedObjects() const {
+  std::vector<ObjectId> out;
+  out.reserve(objects_.size());
+  for (const auto& [x, entry] : objects_) out.push_back(x);
+  return out;
+}
+
+Status VersionMap::CheckWellFormed(const action::ActionRegistry& reg) const {
+  for (const auto& [x, entry] : objects_) {
+    for (const auto& [a, seq] : entry) {
+      // Every element is an access to x.
+      for (ActionId e : seq) {
+        if (!reg.Valid(e) || !reg.IsAccess(e) || reg.Object(e) != x) {
+          std::ostringstream os;
+          os << "V(x" << x << ", " << a << ") contains non-access-to-x " << e;
+          return Status::Internal(os.str());
+        }
+      }
+    }
+    // Chain property and extension property, pairwise (including the
+    // implicit root entry, which every explicit sequence must extend).
+    std::vector<ActionId> holders;
+    for (const auto& [a, seq] : entry) holders.push_back(a);
+    for (std::size_t i = 0; i < holders.size(); ++i) {
+      for (std::size_t j = i + 1; j < holders.size(); ++j) {
+        ActionId a = holders[i], b = holders[j];
+        if (!reg.IsAncestor(a, b) && !reg.IsAncestor(b, a)) {
+          std::ostringstream os;
+          os << "V holders " << a << " and " << b << " for x" << x
+             << " not on one chain";
+          return Status::Internal(os.str());
+        }
+        const ActionId anc = reg.IsAncestor(a, b) ? a : b;
+        const ActionId desc = anc == a ? b : a;
+        const auto& anc_seq = entry.at(anc);
+        const auto& desc_seq = entry.at(desc);
+        if (desc_seq.size() < anc_seq.size() ||
+            !std::equal(anc_seq.begin(), anc_seq.end(), desc_seq.begin())) {
+          std::ostringstream os;
+          os << "V(x" << x << ", " << desc << ") does not extend V(x" << x
+             << ", " << anc << ")";
+          return Status::Internal(os.str());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rnt::versionmap

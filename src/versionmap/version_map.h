@@ -1,0 +1,100 @@
+#ifndef RNT_VERSIONMAP_VERSION_MAP_H_
+#define RNT_VERSIONMAP_VERSION_MAP_H_
+
+#include <map>
+#include <vector>
+
+#include "action/registry.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rnt::versionmap {
+
+/// A version map (paper §7.1): a partial mapping V from obj × act to
+/// sequences of accesses, recording for each object its "stack of locks":
+/// the chain of actions (successive descendants) currently associated
+/// with the object, each holding the sequence of accesses whose result is
+/// available to it.
+///
+/// Well-formedness (the paper's four conditions):
+///  * V(x, U) is defined for every x — represented lazily: an object with
+///    no explicit entries implicitly has V(x, U) = ⟨⟩;
+///  * every element of V(x, A) is an access to x;
+///  * the defined actions for one object lie on a single ancestor chain;
+///  * if B ∈ desc(A), V(x, B) extends V(x, A).
+/// These are maintained by the algebra's events and verified by
+/// CheckWellFormed in tests.
+///
+/// The *principal action* for x is the least (deepest) defined action;
+/// its sequence evaluates to the *principal value* — the value the next
+/// access must see (precondition d13).
+class VersionMap {
+ public:
+  using Entry = std::map<ActionId, std::vector<ActionId>>;
+
+  VersionMap() = default;
+
+  /// True iff V(x, a) is defined (including the implicit root entries).
+  bool IsDefined(ObjectId x, ActionId a) const {
+    if (a == kRootAction) return true;
+    auto it = objects_.find(x);
+    return it != objects_.end() && it->second.count(a) != 0;
+  }
+
+  /// The sequence V(x, a). Requires IsDefined(x, a).
+  std::vector<ActionId> Get(ObjectId x, ActionId a) const {
+    auto it = objects_.find(x);
+    if (it == objects_.end()) return {};
+    auto jt = it->second.find(a);
+    if (jt == it->second.end()) return {};
+    return jt->second;
+  }
+
+  void Set(ObjectId x, ActionId a, std::vector<ActionId> seq) {
+    objects_[x][a] = std::move(seq);
+  }
+
+  /// Makes V(x, a) undefined. Erasing the root entry resets it to the
+  /// empty sequence only if no other entry exists (the root entry is
+  /// implicitly ⟨⟩ when absent); in the algebra the root is never erased
+  /// (release/lose events require A ≠ U only implicitly — U never commits
+  /// or dies), so this is a no-op guard.
+  void Erase(ObjectId x, ActionId a) {
+    if (a == kRootAction) return;
+    auto it = objects_.find(x);
+    if (it == objects_.end()) return;
+    it->second.erase(a);
+    if (it->second.empty()) objects_.erase(it);
+  }
+
+  /// The deepest action with V(x, ·) defined (the paper's principal
+  /// action); U if no explicit entry exists.
+  ActionId PrincipalAction(ObjectId x, const action::ActionRegistry& reg) const;
+
+  /// result(x, V(x, principal)) — the principal value (paper §7.1).
+  Value PrincipalValue(ObjectId x, const action::ActionRegistry& reg) const;
+
+  /// Explicitly-stored entries for `x` (does not include the implicit
+  /// root entry). Keys ascend by ActionId.
+  const Entry* EntriesFor(ObjectId x) const {
+    auto it = objects_.find(x);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+
+  /// Objects with at least one explicit entry.
+  std::vector<ObjectId> TouchedObjects() const;
+
+  /// Verifies the four well-formedness conditions against `reg`.
+  Status CheckWellFormed(const action::ActionRegistry& reg) const;
+
+  friend bool operator==(const VersionMap& a, const VersionMap& b) {
+    return a.objects_ == b.objects_;
+  }
+
+ private:
+  std::map<ObjectId, Entry> objects_;
+};
+
+}  // namespace rnt::versionmap
+
+#endif  // RNT_VERSIONMAP_VERSION_MAP_H_

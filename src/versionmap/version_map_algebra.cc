@@ -1,0 +1,154 @@
+#include "versionmap/version_map_algebra.h"
+
+#include <sstream>
+
+namespace rnt::versionmap {
+
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::LoseLock;
+using algebra::Perform;
+using algebra::ReleaseLock;
+
+bool VersionMapAlgebra::Defined(const State& s, const Event& e) const {
+  if (const auto* c = std::get_if<Create>(&e)) return s.tree.CanCreate(c->a);
+  if (const auto* c = std::get_if<Commit>(&e)) return s.tree.CanCommit(c->a);
+  if (const auto* c = std::get_if<Abort>(&e)) return s.tree.CanAbort(c->a);
+  if (const auto* p = std::get_if<Perform>(&e)) {
+    if (!s.tree.CanPerform(p->a)) return false;  // (d11)
+    ObjectId x = registry_->Object(p->a);
+    // (d12): every defined holder is a proper ancestor of A. The implicit
+    // root holder always is.
+    if (const auto* entry = s.vmap.EntriesFor(x)) {
+      for (const auto& [b, seq] : *entry) {
+        if (!registry_->IsProperAncestor(b, p->a)) return false;
+      }
+    }
+    // (d13): u is the principal value of x in V.
+    return p->u == s.vmap.PrincipalValue(x, *registry_);
+  }
+  if (const auto* r = std::get_if<ReleaseLock>(&e)) {
+    // (e11) V(x, A) defined with an explicit entry (the root never
+    // releases); (e12) A committed.
+    if (r->a == kRootAction) return false;
+    return s.vmap.IsDefined(r->x, r->a) && s.tree.IsCommitted(r->a);
+  }
+  const auto& l = std::get<LoseLock>(e);
+  // (f11) V(x, A) defined; (f12) A dead in T.
+  if (l.a == kRootAction) return false;
+  return s.vmap.IsDefined(l.x, l.a) && s.tree.Contains(l.a) &&
+         !s.tree.IsLive(l.a);
+}
+
+void VersionMapAlgebra::Apply(State& s, const Event& e) const {
+  if (const auto* c = std::get_if<Create>(&e)) {
+    s.tree.ApplyCreate(c->a);
+  } else if (const auto* c = std::get_if<Commit>(&e)) {
+    s.tree.ApplyCommit(c->a);
+  } else if (const auto* c = std::get_if<Abort>(&e)) {
+    s.tree.ApplyAbort(c->a);
+  } else if (const auto* p = std::get_if<Perform>(&e)) {
+    ObjectId x = registry_->Object(p->a);
+    // (d24): V(x, A) <- V(x, B) ∘ ⟨A⟩ for B the principal action. Compute
+    // before mutating the tree.
+    std::vector<ActionId> seq =
+        s.vmap.Get(x, s.vmap.PrincipalAction(x, *registry_));
+    seq.push_back(p->a);
+    s.tree.ApplyPerform(p->a, p->u);  // (d21)-(d23)
+    s.vmap.Set(x, p->a, std::move(seq));
+  } else if (const auto* r = std::get_if<ReleaseLock>(&e)) {
+    // (e21)/(e22): pass the sequence up to the parent.
+    s.vmap.Set(r->x, registry_->Parent(r->a), s.vmap.Get(r->x, r->a));
+    s.vmap.Erase(r->x, r->a);
+  } else {
+    const auto& l = std::get<LoseLock>(e);
+    s.vmap.Erase(l.x, l.a);  // (f21)
+  }
+}
+
+Status CheckLemma16(const VmState& s) {
+  const action::ActionRegistry& reg = s.tree.registry();
+  // (a), (c), (d) over all defined entries.
+  for (ObjectId x : s.vmap.TouchedObjects()) {
+    const auto* entry = s.vmap.EntriesFor(x);
+    for (const auto& [a, seq] : *entry) {
+      if (a != kRootAction && !s.tree.Contains(a)) {
+        std::ostringstream os;
+        os << "Lemma 16(a): holder " << a << " of x" << x << " not in tree";
+        return Status::Internal(os.str());
+      }
+      for (ActionId b : seq) {
+        if (!s.tree.IsVisibleTo(b, a)) {
+          std::ostringstream os;
+          os << "Lemma 16(c): element " << b << " of V(x" << x << ", " << a
+             << ") not visible to holder";
+          return Status::Internal(os.str());
+        }
+      }
+      // (d): seq is a subsequence of the object's data order.
+      const auto& data = s.tree.Datasteps(x);
+      std::size_t di = 0;
+      for (ActionId b : seq) {
+        while (di < data.size() && data[di] != b) ++di;
+        if (di == data.size()) {
+          std::ostringstream os;
+          os << "Lemma 16(d): V(x" << x << ", " << a
+             << ") not in data order (element " << b << ")";
+          return Status::Internal(os.str());
+        }
+        ++di;
+      }
+    }
+  }
+  // (b): every live datastep is covered by an ancestor's lock.
+  for (ObjectId x : s.tree.TouchedObjects()) {
+    for (ActionId b : s.tree.Datasteps(x)) {
+      if (!s.tree.IsLive(b)) continue;
+      bool covered = false;
+      for (ActionId a : reg.AncestorChain(b)) {
+        if (!s.vmap.IsDefined(x, a)) continue;
+        std::vector<ActionId> seq = s.vmap.Get(x, a);
+        if (std::find(seq.begin(), seq.end(), b) != seq.end()) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        std::ostringstream os;
+        os << "Lemma 16(b): live datastep " << b << " on x" << x
+           << " not in any ancestor's lock sequence";
+        return Status::Internal(os.str());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<algebra::LockEvent> EventCandidates(const VmState& s) {
+  const action::ActionRegistry& reg = s.tree.registry();
+  std::vector<algebra::LockEvent> out;
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    if (!s.tree.Contains(a)) {
+      out.push_back(Create{a});
+      continue;
+    }
+    if (!s.tree.IsActive(a)) continue;
+    if (reg.IsAccess(a)) {
+      out.push_back(Perform{a, s.vmap.PrincipalValue(reg.Object(a), reg)});
+      out.push_back(Abort{a});
+    } else {
+      out.push_back(Commit{a});
+      out.push_back(Abort{a});
+    }
+  }
+  for (ObjectId x : s.vmap.TouchedObjects()) {
+    for (const auto& [a, seq] : *s.vmap.EntriesFor(x)) {
+      if (s.tree.IsCommitted(a)) out.push_back(ReleaseLock{a, x});
+      if (s.tree.Contains(a) && !s.tree.IsLive(a)) out.push_back(LoseLock{a, x});
+    }
+  }
+  return out;
+}
+
+}  // namespace rnt::versionmap

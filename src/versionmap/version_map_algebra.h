@@ -1,0 +1,74 @@
+#ifndef RNT_VERSIONMAP_VERSION_MAP_ALGEBRA_H_
+#define RNT_VERSIONMAP_VERSION_MAP_ALGEBRA_H_
+
+#include <vector>
+
+#include "aat/aat.h"
+#include "algebra/algebra.h"
+#include "algebra/events.h"
+#include "common/status.h"
+#include "versionmap/version_map.h"
+
+namespace rnt::versionmap {
+
+/// State of the level-3 algebra 𝒜″: an AAT plus a version map (paper §7.2).
+struct VmState {
+  aat::Aat tree;
+  VersionMap vmap;
+};
+
+/// Level 3: the locking-style algebra that *retains information* — each
+/// lock holder keeps the whole sequence of accesses available to it
+/// (paper §7). Events:
+///
+///  (a)-(c) create/commit/abort — identical to 𝒜′;
+///  (d) perform_{A,u} — requires that every current lock holder for
+///      object(A) is a *proper ancestor* of A (d12) and that u is the
+///      principal value (d13); effect grants A the lock with sequence
+///      V(x, principal) ∘ ⟨A⟩ (d24);
+///  (e) release-lock_{A,x} — a committed holder passes its sequence to
+///      its parent (lock inheritance);
+///  (f) lose-lock_{A,x} — a dead holder's lock is discarded.
+///
+/// This level is where "two-phase"-ness lives: a lock moves only upward
+/// (to the parent on commit) or away (on abort), never sideways, so the
+/// abstract preconditions of 𝒜′ are met — Lemma 17.
+class VersionMapAlgebra {
+ public:
+  using State = VmState;
+  using Event = algebra::LockEvent;
+
+  explicit VersionMapAlgebra(const action::ActionRegistry* registry)
+      : registry_(registry) {}
+
+  State Initial() const {
+    return VmState{action::ActionTree(registry_), VersionMap()};
+  }
+
+  bool Defined(const State& s, const Event& e) const;
+  void Apply(State& s, const Event& e) const;
+
+  const action::ActionRegistry& registry() const { return *registry_; }
+
+ private:
+  const action::ActionRegistry* registry_;
+};
+
+static_assert(algebra::EventStateAlgebra<VersionMapAlgebra>);
+
+/// Lemma 16 invariants of computable 𝒜″ states:
+///  (a) V(x, A) defined => A ∈ vertices_T (or A = U);
+///  (b) every live datastep B on x appears in V(x, A) for some ancestor A
+///      of B with V(x, A) defined;
+///  (c) every element of a defined V(x, A) is visible to A;
+///  (d) the elements of V(x, A) are in data_T order.
+Status CheckLemma16(const VmState& s);
+
+/// Candidate generator for random exploration of 𝒜″: tree events, the
+/// principal-value perform for each active access, release-lock for
+/// committed holders, lose-lock for dead holders.
+std::vector<algebra::LockEvent> EventCandidates(const VmState& s);
+
+}  // namespace rnt::versionmap
+
+#endif  // RNT_VERSIONMAP_VERSION_MAP_ALGEBRA_H_

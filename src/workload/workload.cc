@@ -1,0 +1,230 @@
+#include "workload/workload.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace rnt::workload {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Simulated per-access work while locks are held. Sleeping (rather than
+/// spinning) models I/O or network latency — the dominant per-access cost
+/// in the distributed databases the paper targets — and keeps the
+/// benchmark meaningful on machines with fewer cores than worker threads.
+void SpinWork(int ns) {
+  if (ns <= 0) return;
+  std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+/// Runs one subtransaction of the mixed workload. Returns OK on commit,
+/// kAborted-ish status if the child could not be completed (caller
+/// decides whether to retry the child or restart the transaction).
+Status RunChild(txn::TxnHandle& parent, const Params& p, const Zipf& zipf,
+                Rng& rng, Result& res) {
+  auto child = parent.BeginChild();
+  if (!child.ok()) return child.status();
+  ++res.child_attempts;
+  for (int a = 0; a < p.accesses_per_child; ++a) {
+    ObjectId x = static_cast<ObjectId>(zipf.Sample(rng));
+    auto r = rng.Chance(p.read_fraction)
+                 ? (*child)->Apply(x, action::Update::Read())
+                 : (*child)->Apply(x, action::Update::Add(1));
+    if (!r.ok()) {
+      (void)(*child)->Abort();
+      return r.status();
+    }
+    ++res.accesses;
+    SpinWork(p.work_ns_per_access);
+  }
+  if (rng.Chance(p.child_failure_prob)) {
+    (void)(*child)->Abort();
+    return Status::Aborted("injected subtransaction failure");
+  }
+  return (*child)->Commit();
+}
+
+/// Runs one child slot (with recovery-block retries). Returns true if a
+/// child eventually committed, false if the transaction should restart.
+bool RunChildWithRetries(txn::TxnHandle& t, const Params& p, const Zipf& zipf,
+                         Rng& rng, Result& res) {
+  int retries = 0;
+  for (;;) {
+    Status s = RunChild(t, p, zipf, rng, res);
+    if (s.ok()) return true;
+    // Child failed. If the parent itself is still alive, this is the
+    // recovery-block case: retry the child in place. (On a flat engine
+    // the child's abort killed the parent, so the probe access below
+    // fails and we restart from the top.)
+    if (retries >= p.max_child_retries) return false;
+    auto probe = t.Get(static_cast<ObjectId>(zipf.Sample(rng)));
+    if (!probe.ok()) return false;  // parent dead: restart transaction
+    ++retries;
+    ++res.child_retries;
+  }
+}
+
+/// One top-level transaction with recovery-block child retries. Returns
+/// true if the transaction committed.
+bool RunTopLevel(txn::Engine& engine, const Params& p, const Zipf& zipf,
+                 Rng& rng, Result& res) {
+  for (int attempt = 0; attempt < p.max_txn_attempts; ++attempt) {
+    ++res.txn_attempts;
+    auto t = engine.Begin();
+    bool dead = false;
+    if (p.parallel_children) {
+      // Sibling subtransactions overlap on their own threads — safe
+      // exactly because the nesting discipline isolates them.
+      std::vector<std::thread> kids;
+      std::vector<Result> kid_res(p.children_per_txn);
+      std::vector<std::uint64_t> seeds;
+      std::vector<char> kid_ok(p.children_per_txn, 0);
+      seeds.reserve(p.children_per_txn);
+      for (int c = 0; c < p.children_per_txn; ++c) seeds.push_back(rng.Next());
+      for (int c = 0; c < p.children_per_txn; ++c) {
+        kids.emplace_back([&, c] {
+          Rng crng(seeds[c]);
+          kid_ok[c] =
+              RunChildWithRetries(*t, p, zipf, crng, kid_res[c]) ? 1 : 0;
+        });
+      }
+      for (auto& k : kids) k.join();
+      for (int c = 0; c < p.children_per_txn; ++c) {
+        res.child_attempts += kid_res[c].child_attempts;
+        res.child_retries += kid_res[c].child_retries;
+        res.accesses += kid_res[c].accesses;
+        if (!kid_ok[c]) dead = true;
+      }
+    } else {
+      for (int c = 0; c < p.children_per_txn && !dead; ++c) {
+        if (!RunChildWithRetries(*t, p, zipf, rng, res)) dead = true;
+      }
+    }
+    if (!dead && t->Commit().ok()) return true;
+    (void)t->Abort();
+  }
+  return false;
+}
+
+}  // namespace
+
+Result RunMixed(txn::Engine& engine, const Params& params, int workers,
+                int txns_per_worker, std::uint64_t seed) {
+  std::vector<Result> partials(workers);
+  Zipf zipf(params.num_objects, params.zipf_theta);
+  auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(seed * 1315423911u + w);
+      Result& res = partials[w];
+      for (int i = 0; i < txns_per_worker; ++i) {
+        if (RunTopLevel(engine, params, zipf, rng, res)) {
+          ++res.committed;
+        } else {
+          ++res.failed;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  Result total;
+  for (auto& r : partials) total.MergeFrom(r);
+  total.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return total;
+}
+
+Status SetupBanking(txn::Engine& engine, const BankingParams& params) {
+  auto t = engine.Begin();
+  for (ObjectId a = 0; a < params.num_accounts; ++a) {
+    RNT_RETURN_IF_ERROR(t->Put(a, params.initial_balance));
+  }
+  return t->Commit();
+}
+
+BankingResult RunBanking(txn::Engine& engine, const BankingParams& params,
+                         int workers, int transfers_per_worker,
+                         std::uint64_t seed) {
+  std::vector<BankingResult> partials(workers);
+  auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(seed * 2654435761u + w);
+      BankingResult& res = partials[w];
+      for (int i = 0; i < transfers_per_worker; ++i) {
+        ObjectId from = static_cast<ObjectId>(rng.Below(params.num_accounts));
+        ObjectId to = static_cast<ObjectId>(rng.Below(params.num_accounts));
+        if (from == to) to = (to + 1) % params.num_accounts;
+        Value amount = rng.Range(1, 10);
+        bool committed = false;
+        for (int attempt = 0; attempt < params.max_txn_attempts && !committed;
+             ++attempt) {
+          auto t = engine.Begin();
+          // Debit and credit each run as a subtransaction; an injected
+          // failure in either is retried without undoing the other.
+          bool ok = true;
+          for (int leg = 0; leg < 2 && ok; ++leg) {
+            ObjectId acct = leg == 0 ? from : to;
+            Value delta = leg == 0 ? -amount : amount;
+            int retries = 0;
+            for (;;) {
+              auto c = t->BeginChild();
+              if (!c.ok()) {
+                ok = false;
+                break;
+              }
+              auto r = (*c)->Apply(acct, action::Update::Add(delta));
+              SpinWork(params.work_ns_per_access);
+              bool failed = !r.ok() || rng.Chance(params.child_failure_prob);
+              if (!failed && (*c)->Commit().ok()) break;
+              (void)(*c)->Abort();
+              if (!t->Get(acct).ok() || retries >= params.max_child_retries) {
+                ok = false;
+                break;
+              }
+              ++retries;
+              ++res.child_retries;
+            }
+          }
+          if (ok && t->Commit().ok()) {
+            committed = true;
+          } else {
+            (void)t->Abort();
+          }
+        }
+        if (committed) {
+          ++res.transfers_committed;
+        } else {
+          ++res.transfers_failed;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  BankingResult total;
+  for (auto& r : partials) {
+    total.transfers_committed += r.transfers_committed;
+    total.transfers_failed += r.transfers_failed;
+    total.child_retries += r.child_retries;
+  }
+  total.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return total;
+}
+
+bool VerifyBankingTotal(txn::Engine& engine, const BankingParams& params) {
+  Value total = 0;
+  for (ObjectId a = 0; a < params.num_accounts; ++a) {
+    total += engine.ReadCommitted(a);
+  }
+  return total == static_cast<Value>(params.num_accounts) *
+                      params.initial_balance;
+}
+
+}  // namespace rnt::workload

@@ -1,0 +1,102 @@
+#ifndef RNT_WORKLOAD_WORKLOAD_H_
+#define RNT_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "txn/engine.h"
+
+namespace rnt::workload {
+
+/// Parameters of the synthetic nested workload used across tests and
+/// benchmarks (experiments E1/E2/E7/E8). Each top-level transaction runs
+/// `children_per_txn` sequential subtransactions; each subtransaction
+/// makes `accesses_per_child` accesses to Zipf-distributed objects and
+/// may suffer an injected failure, which the driver tolerates with up to
+/// `max_child_retries` recovery-block retries before giving up and
+/// restarting the whole transaction.
+struct Params {
+  std::uint32_t num_objects = 64;
+  double zipf_theta = 0.0;  // 0 = uniform
+  int children_per_txn = 3;
+  int accesses_per_child = 2;
+  double read_fraction = 0.5;
+  /// Probability a subtransaction "fails" after doing its work (the
+  /// paper's tolerated-failure scenario; experiment E2).
+  double child_failure_prob = 0.0;
+  int max_child_retries = 3;
+  /// Simulated computation per access, in nanoseconds of spinning while
+  /// locks are held — makes lock hold time (the quantity nested locking
+  /// shortens) dominate engine overhead.
+  int work_ns_per_access = 0;
+  /// Cap on whole-transaction restarts before counting a failure.
+  int max_txn_attempts = 10;
+  /// Run a transaction's subtransactions on concurrent threads instead of
+  /// sequentially. This is the concurrency the paper's introduction
+  /// credits nesting with: siblings are isolated from each other by the
+  /// locking discipline, so they can safely overlap. A flat transaction
+  /// has no such isolation — the honest flat baseline must keep
+  /// parallel_children = false.
+  bool parallel_children = false;
+};
+
+struct Result {
+  std::uint64_t committed = 0;      // top-level commits
+  std::uint64_t failed = 0;         // gave up after max_txn_attempts
+  std::uint64_t txn_attempts = 0;   // top-level attempts incl. restarts
+  std::uint64_t child_attempts = 0; // subtransaction attempts incl. retries
+  std::uint64_t child_retries = 0;  // recovery-block retries that occurred
+  std::uint64_t accesses = 0;       // successful engine accesses
+  double elapsed_seconds = 0;
+
+  void MergeFrom(const Result& o) {
+    committed += o.committed;
+    failed += o.failed;
+    txn_attempts += o.txn_attempts;
+    child_attempts += o.child_attempts;
+    child_retries += o.child_retries;
+    accesses += o.accesses;
+    elapsed_seconds = std::max(elapsed_seconds, o.elapsed_seconds);
+  }
+};
+
+/// Runs `txns_per_worker` top-level transactions on each of `workers`
+/// threads against `engine`. Deterministic given `seed` up to thread
+/// interleaving.
+Result RunMixed(txn::Engine& engine, const Params& params, int workers,
+                int txns_per_worker, std::uint64_t seed);
+
+/// Banking scenario: `num_accounts` accounts each seeded with
+/// `initial_balance`; each transaction transfers a random amount between
+/// two random accounts using one subtransaction per account update (debit
+/// then credit), tolerating injected failures. The invariant — total
+/// balance conservation — is checked by VerifyBankingTotal.
+struct BankingParams {
+  std::uint32_t num_accounts = 16;
+  Value initial_balance = 100;
+  double child_failure_prob = 0.0;
+  int max_child_retries = 3;
+  int max_txn_attempts = 10;
+  int work_ns_per_access = 0;
+};
+
+struct BankingResult {
+  std::uint64_t transfers_committed = 0;
+  std::uint64_t transfers_failed = 0;
+  std::uint64_t child_retries = 0;
+  double elapsed_seconds = 0;
+};
+
+/// Seeds every account balance (one setup transaction).
+Status SetupBanking(txn::Engine& engine, const BankingParams& params);
+
+BankingResult RunBanking(txn::Engine& engine, const BankingParams& params,
+                         int workers, int transfers_per_worker,
+                         std::uint64_t seed);
+
+/// True iff the committed total equals num_accounts * initial_balance.
+bool VerifyBankingTotal(txn::Engine& engine, const BankingParams& params);
+
+}  // namespace rnt::workload
+
+#endif  // RNT_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,149 @@
+#include "aat/aat_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "action/serializability.h"
+#include "algebra/algebra.h"
+#include "testutil.h"
+
+namespace rnt::aat {
+namespace {
+
+using action::ActionRegistry;
+using action::Update;
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::Perform;
+using algebra::TreeEvent;
+
+class AatAlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t1_ = reg_.NewAction(kRootAction);
+    t2_ = reg_.NewAction(kRootAction);
+    a1_ = reg_.NewAccess(t1_, 0, Update::Add(1));
+    a2_ = reg_.NewAccess(t2_, 0, Update::Add(2));
+  }
+
+  ActionRegistry reg_;
+  ActionId t1_, t2_, a1_, a2_;
+};
+
+TEST_F(AatAlgebraTest, MossPreconditionBlocksConcurrentConflict) {
+  AatAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  for (TreeEvent e : std::vector<TreeEvent>{Create{t1_}, Create{t2_},
+                                            Create{a1_}, Create{a2_}}) {
+    ASSERT_TRUE(alg.Defined(s, e));
+    alg.Apply(s, e);
+  }
+  ASSERT_TRUE(alg.Defined(s, TreeEvent{Perform{a1_, 0}}));
+  alg.Apply(s, TreeEvent{Perform{a1_, 0}});
+  // a1 performed inside still-active t1: a2 must wait (d12 fails for any
+  // value).
+  EXPECT_FALSE(alg.Defined(s, TreeEvent{Perform{a2_, 1}}));
+  EXPECT_FALSE(alg.Defined(s, TreeEvent{Perform{a2_, 0}}));
+  // After t1 commits, a1 is visible to a2 and the only valid value is 1.
+  alg.Apply(s, TreeEvent{Commit{t1_}});
+  EXPECT_FALSE(alg.Defined(s, TreeEvent{Perform{a2_, 0}})) << "(d13)";
+  EXPECT_TRUE(alg.Defined(s, TreeEvent{Perform{a2_, 1}}));
+}
+
+TEST_F(AatAlgebraTest, AbortUnblocksConflictingAccess) {
+  AatAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  for (TreeEvent e : std::vector<TreeEvent>{Create{t1_}, Create{t2_},
+                                            Create{a1_}, Create{a2_},
+                                            Perform{a1_, 0}, Abort{t1_}}) {
+    ASSERT_TRUE(alg.Defined(s, e)) << algebra::ToString(e);
+    alg.Apply(s, e);
+  }
+  // a1's writer branch is dead: a1 no longer constrains a2 (d12 vacuous),
+  // and a2 sees init value again.
+  EXPECT_TRUE(alg.Defined(s, TreeEvent{Perform{a2_, 0}}));
+  EXPECT_FALSE(alg.Defined(s, TreeEvent{Perform{a2_, 1}}));
+}
+
+TEST_F(AatAlgebraTest, OrphanPerformUnconstrained) {
+  AatAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  for (TreeEvent e : std::vector<TreeEvent>{Create{t1_}, Create{a1_},
+                                            Abort{t1_}}) {
+    ASSERT_TRUE(alg.Defined(s, e));
+    alg.Apply(s, e);
+  }
+  // a1 is an orphan (ancestor aborted): d13 does not constrain its value.
+  EXPECT_TRUE(alg.Defined(s, TreeEvent{Perform{a1_, 12345}}));
+}
+
+TEST_F(AatAlgebraTest, DeadDatastepDoesNotBlock) {
+  AatAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  for (TreeEvent e : std::vector<TreeEvent>{
+           Create{t1_}, Create{t2_}, Create{a1_}, Perform{a1_, 0},
+           Abort{t1_}, Create{a2_}}) {
+    ASSERT_TRUE(alg.Defined(s, e));
+    alg.Apply(s, e);
+  }
+  EXPECT_TRUE(alg.Defined(s, TreeEvent{Perform{a2_, 0}}))
+      << "(d12) only quantifies over live datasteps";
+}
+
+// ---------------------------------------------------------------------
+// Theorem 14 as a property: every computable level-2 state has
+// perm(T) data-serializable — and, via Theorem 9 / the §3.4 oracle,
+// serializable.
+
+TEST(AatAlgebraPropertyTest, Theorem14PermAlwaysDataSerializable) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    testutil::RandomRegistryParams p;
+    p.top_level = 3;
+    p.max_children = 3;
+    p.max_depth = 3;
+    p.objects = 2;
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+    AatAlgebra alg(&reg);
+    auto run = algebra::RandomRun(
+        alg, [](const Aat& s) { return EventCandidates(s); }, rng, 80);
+    EXPECT_TRUE(IsPermDataSerializable(run.state)) << "seed " << seed;
+    EXPECT_TRUE(action::IsPermSerializable(run.state)) << "seed " << seed;
+  }
+}
+
+TEST(AatAlgebraPropertyTest, Lemma10InvariantsHoldOnRandomRuns) {
+  for (std::uint64_t seed = 50; seed < 90; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    AatAlgebra alg(&reg);
+    // Check the invariant at every prefix, not just the end state.
+    auto s = alg.Initial();
+    for (int step = 0; step < 60; ++step) {
+      std::vector<TreeEvent> enabled;
+      for (auto& e : EventCandidates(s)) {
+        if (alg.Defined(s, e)) enabled.push_back(e);
+      }
+      if (enabled.empty()) break;
+      alg.Apply(s, enabled[rng.Below(enabled.size())]);
+      Status st = CheckLemma10(s);
+      ASSERT_TRUE(st.ok()) << st << " at seed " << seed << " step " << step;
+    }
+  }
+}
+
+TEST(AatAlgebraPropertyTest, ValidRunsStayValidOnReplay) {
+  for (std::uint64_t seed = 200; seed < 210; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    AatAlgebra alg(&reg);
+    auto run = algebra::RandomRun(
+        alg, [](const Aat& s) { return EventCandidates(s); }, rng, 60);
+    auto replay = algebra::Run(alg, std::span<const TreeEvent>(run.events));
+    ASSERT_TRUE(replay.has_value());
+    EXPECT_TRUE(*replay == run.state) << "replay divergence at seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rnt::aat

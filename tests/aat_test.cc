@@ -1,0 +1,291 @@
+#include "aat/aat.h"
+
+#include <gtest/gtest.h>
+
+#include "aat/aat_algebra.h"
+#include "algebra/algebra.h"
+#include "testutil.h"
+
+namespace rnt::aat {
+namespace {
+
+using action::ActionRegistry;
+using action::ActionTree;
+using action::Update;
+
+/// Extracts the per-object data order of a tree (perform order).
+action::DataOrder OrderOf(const Aat& t) {
+  action::DataOrder order;
+  for (ObjectId x : t.TouchedObjects()) {
+    order[x] = t.Datasteps(x);
+  }
+  return order;
+}
+
+class AatFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t1_ = reg_.NewAction(kRootAction);
+    t2_ = reg_.NewAction(kRootAction);
+    // t1 writes x then y; t2 writes y then x — the classic cycle shape.
+    a1x_ = reg_.NewAccess(t1_, 0, Update::Add(1));
+    a1y_ = reg_.NewAccess(t1_, 1, Update::Add(1));
+    a2y_ = reg_.NewAccess(t2_, 1, Update::Add(2));
+    a2x_ = reg_.NewAccess(t2_, 0, Update::Add(2));
+  }
+
+  ActionRegistry reg_;
+  ActionId t1_, t2_, a1x_, a1y_, a2y_, a2x_;
+};
+
+TEST_F(AatFixture, VDataCollectsVisiblePredecessors) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1x_);
+  t.ApplyPerform(a1x_, 0);
+  t.ApplyCommit(t1_);
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a2x_);
+  t.ApplyPerform(a2x_, 1);
+  std::vector<ActionId> v = VData(t, a2x_);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], a1x_);
+  // And the first access has no predecessors.
+  EXPECT_TRUE(VData(t, a1x_).empty());
+}
+
+TEST_F(AatFixture, VDataExcludesInvisible) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1x_);
+  t.ApplyPerform(a1x_, 0);  // t1 still active
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a2x_);
+  t.ApplyPerform(a2x_, 0);
+  EXPECT_TRUE(VData(t, a2x_).empty())
+      << "a1x is masked by active t1, not a visible predecessor";
+}
+
+TEST_F(AatFixture, VersionCompatibilityHoldsForCorrectLabels) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1x_);
+  t.ApplyPerform(a1x_, 0);
+  t.ApplyCommit(t1_);
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a2x_);
+  t.ApplyPerform(a2x_, 1);  // sees t1's add(1) applied to 0
+  EXPECT_TRUE(IsVersionCompatible(t));
+}
+
+TEST_F(AatFixture, VersionCompatibilityDetectsWrongLabel) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1x_);
+  t.ApplyPerform(a1x_, 0);
+  t.ApplyCommit(t1_);
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a2x_);
+  t.ApplyPerform(a2x_, 42);  // should have seen 1
+  EXPECT_FALSE(IsVersionCompatible(t));
+}
+
+TEST_F(AatFixture, SiblingDataEdgesLiftToTopLevel) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a1x_);
+  t.ApplyPerform(a1x_, 0);
+  t.ApplyCreate(a2x_);
+  t.ApplyPerform(a2x_, 1);
+  auto edges = SiblingDataEdges(t);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, t1_);
+  EXPECT_EQ(edges[0].to, t2_);
+}
+
+TEST_F(AatFixture, NoCycleOnOneSidedOrder) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a1x_);
+  t.ApplyPerform(a1x_, 0);
+  t.ApplyCreate(a1y_);
+  t.ApplyPerform(a1y_, 0);
+  t.ApplyCreate(a2x_);
+  t.ApplyPerform(a2x_, 0);
+  t.ApplyCreate(a2y_);
+  t.ApplyPerform(a2y_, 0);
+  // x: a1x < a2x; y: a1y < a2y — both edges t1 -> t2; no cycle.
+  EXPECT_FALSE(HasSiblingDataCycle(t));
+}
+
+TEST_F(AatFixture, DetectsTwoObjectCycle) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(t2_);
+  // x: t1 then t2; y: t2 then t1 => cycle t1 -> t2 -> t1.
+  t.ApplyCreate(a1x_);
+  t.ApplyPerform(a1x_, 0);
+  t.ApplyCreate(a2x_);
+  t.ApplyPerform(a2x_, 0);
+  t.ApplyCreate(a2y_);
+  t.ApplyPerform(a2y_, 0);
+  t.ApplyCreate(a1y_);
+  t.ApplyPerform(a1y_, 0);
+  EXPECT_TRUE(HasSiblingDataCycle(t));
+  EXPECT_FALSE(IsDataSerializable(t));
+}
+
+TEST_F(AatFixture, SameTransactionPairsEdgeAtAccessLevelOnly) {
+  // Two accesses of the same transaction create a sibling edge *between
+  // the accesses themselves* (they are siblings under t1), not an edge at
+  // the top level — and a single edge can never be a nontrivial cycle.
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  ActionId b = reg_.NewAccess(t1_, 0, Update::Add(3));
+  t.ApplyCreate(a1x_);
+  t.ApplyPerform(a1x_, 0);
+  t.ApplyCreate(b);
+  t.ApplyPerform(b, 1);
+  auto edges = SiblingDataEdges(t);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].from, a1x_);
+  EXPECT_EQ(edges[0].to, b);
+  EXPECT_FALSE(HasSiblingDataCycle(t));
+  EXPECT_TRUE(IsDataSerializable(t));
+}
+
+TEST_F(AatFixture, MossValueFoldsVisibleDatasteps) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1x_);
+  t.ApplyPerform(a1x_, 0);
+  t.ApplyCommit(t1_);
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a2x_);
+  EXPECT_EQ(MossValue(t, a2x_), 1) << "add(1) applied to init 0";
+}
+
+// ---------------------------------------------------------------------
+// Theorem 9: the efficient checker agrees with the exhaustive oracle on
+// data-serializability, across random trees (both valid Moss executions
+// and arbitrarily-labeled trees).
+
+TEST(Theorem9PropertyTest, CheckerMatchesOracleOnArbitraryTrees) {
+  int agree_true = 0, agree_false = 0;
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    Rng rng(seed);
+    testutil::RandomRegistryParams p;
+    p.top_level = 2;
+    p.max_children = 2;
+    p.max_depth = 3;
+    p.objects = 2;
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+    ActionTree t = testutil::RandomTreeState(reg, rng, 30);
+    action::DataOrder order = OrderOf(t);
+    action::OracleOptions opt;
+    opt.data_order = &order;
+    bool oracle = action::IsSerializable(t, opt);
+    bool checker = IsDataSerializable(t);
+    EXPECT_EQ(oracle, checker) << "Theorem 9 mismatch at seed " << seed;
+    (oracle ? agree_true : agree_false)++;
+  }
+  // The sweep must exercise both outcomes to be meaningful.
+  EXPECT_GT(agree_true, 0);
+  EXPECT_GT(agree_false, 0);
+}
+
+TEST(RwExtensionTest, RwCheckerRelaxesReadReadOrderOnly) {
+  // Two sibling reads interleaved against each other across two objects
+  // would form a cycle under the strict relation but not under Rw.
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId t2 = reg.NewAction(kRootAction);
+  ActionId r1x = reg.NewAccess(t1, 0, Update::Read());
+  ActionId r1y = reg.NewAccess(t1, 1, Update::Read());
+  ActionId r2x = reg.NewAccess(t2, 0, Update::Read());
+  ActionId r2y = reg.NewAccess(t2, 1, Update::Read());
+  ActionTree t(&reg);
+  for (ActionId v : {t1, t2, r1x, r2x, r2y, r1y}) t.ApplyCreate(v);
+  // Perform order: r1x, r2x (x: t1 < t2), then r2y, r1y (y: t2 < t1).
+  t.ApplyPerform(r1x, 0);
+  t.ApplyPerform(r2x, 0);
+  t.ApplyPerform(r2y, 0);
+  t.ApplyPerform(r1y, 0);
+  t.ApplyCommit(t1);
+  t.ApplyCommit(t2);
+  EXPECT_TRUE(HasSiblingDataCycle(t)) << "strict relation sees a cycle";
+  EXPECT_FALSE(IsDataSerializable(t));
+  EXPECT_FALSE(HasSiblingDataCycleRw(t)) << "read-read pairs are unordered";
+  EXPECT_TRUE(IsDataSerializableRw(t));
+  // The definitional oracle agrees that the tree is serializable.
+  EXPECT_TRUE(action::IsSerializable(t));
+}
+
+TEST(RwExtensionTest, RwCheckerStillRejectsWriteCycles) {
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId t2 = reg.NewAction(kRootAction);
+  ActionId w1x = reg.NewAccess(t1, 0, Update::Add(1));
+  ActionId w1y = reg.NewAccess(t1, 1, Update::Add(1));
+  ActionId w2x = reg.NewAccess(t2, 0, Update::Add(2));
+  ActionId w2y = reg.NewAccess(t2, 1, Update::Add(2));
+  ActionTree t(&reg);
+  for (ActionId v : {t1, t2, w1x, w2x, w2y, w1y}) t.ApplyCreate(v);
+  t.ApplyPerform(w1x, 0);
+  t.ApplyPerform(w2x, 0);
+  t.ApplyPerform(w2y, 0);
+  t.ApplyPerform(w1y, 0);
+  EXPECT_TRUE(HasSiblingDataCycleRw(t));
+  EXPECT_FALSE(IsDataSerializableRw(t));
+}
+
+TEST(RwExtensionTest, RwCheckerSoundAgainstOracle) {
+  // Whenever the Rw checker accepts a random tree, the definitional
+  // oracle must accept it too (soundness; the converse need not hold
+  // since the Rw relation still orders conflicting pairs by perform
+  // order).
+  int accepted = 0;
+  for (std::uint64_t seed = 500; seed < 560; ++seed) {
+    Rng rng(seed);
+    testutil::RandomRegistryParams p;
+    p.top_level = 2;
+    p.max_children = 2;
+    p.max_depth = 3;
+    p.objects = 2;
+    p.read_prob = 0.6;
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+    ActionTree t = testutil::RandomTreeState(reg, rng, 30);
+    if (IsDataSerializableRw(t)) {
+      ++accepted;
+      EXPECT_TRUE(action::IsSerializable(t))
+          << "Rw checker unsound at seed " << seed;
+    }
+  }
+  EXPECT_GT(accepted, 0) << "sweep never exercised the accepting path";
+}
+
+TEST(Theorem9PropertyTest, CheckerMatchesOracleOnValidRuns) {
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    Rng rng(seed);
+    testutil::RandomRegistryParams p;
+    p.top_level = 2;
+    p.max_children = 2;
+    p.max_depth = 3;
+    p.objects = 2;
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+    AatAlgebra alg(&reg);
+    auto run = algebra::RandomRun(
+        alg, [](const Aat& s) { return EventCandidates(s); }, rng, 40);
+    const Aat& t = run.state;
+    action::DataOrder order = OrderOf(t);
+    action::OracleOptions opt;
+    opt.data_order = &order;
+    EXPECT_EQ(action::IsSerializable(t, opt), IsDataSerializable(t))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rnt::aat

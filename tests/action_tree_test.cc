@@ -1,0 +1,359 @@
+#include "action/action_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace rnt::action {
+namespace {
+
+using testutil::MakeRandomRegistry;
+using testutil::RandomTreeState;
+
+class ActionTreeTest : public ::testing::Test {
+ protected:
+  /// U -> {t1, t2}; t1 -> {s, a1(x0 write 5)}; s -> {a2(x0 read)};
+  /// t2 -> {a3(x0 add 2)}.
+  void SetUp() override {
+    t1_ = reg_.NewAction(kRootAction);
+    t2_ = reg_.NewAction(kRootAction);
+    s_ = reg_.NewAction(t1_);
+    a1_ = reg_.NewAccess(t1_, 0, Update::Write(5));
+    a2_ = reg_.NewAccess(s_, 0, Update::Read());
+    a3_ = reg_.NewAccess(t2_, 0, Update::Add(2));
+  }
+
+  ActionRegistry reg_;
+  ActionId t1_, t2_, s_, a1_, a2_, a3_;
+};
+
+TEST_F(ActionTreeTest, InitialTreeIsTrivial) {
+  ActionTree t(&reg_);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Contains(kRootAction));
+  EXPECT_TRUE(t.IsActive(kRootAction));
+}
+
+TEST_F(ActionTreeTest, CreateRequiresParentPresent) {
+  ActionTree t(&reg_);
+  EXPECT_FALSE(t.CanCreate(s_)) << "parent t1 not yet in tree";
+  EXPECT_TRUE(t.CanCreate(t1_)) << "root is present and uncommitted";
+  t.ApplyCreate(t1_);
+  EXPECT_TRUE(t.CanCreate(s_));
+}
+
+TEST_F(ActionTreeTest, CreateRejectsDuplicates) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  EXPECT_FALSE(t.CanCreate(t1_));
+}
+
+TEST_F(ActionTreeTest, CreateRejectsRootAndInvalid) {
+  ActionTree t(&reg_);
+  EXPECT_FALSE(t.CanCreate(kRootAction));
+  EXPECT_FALSE(t.CanCreate(9999));
+}
+
+TEST_F(ActionTreeTest, CreateUnderCommittedParentForbidden) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCommit(t1_);
+  EXPECT_FALSE(t.CanCreate(s_));
+}
+
+TEST_F(ActionTreeTest, CreateUnderAbortedParentAllowed) {
+  // The paper explicitly allows creation under an aborted parent (the two
+  // events may occur at different nodes of a distributed system).
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyAbort(t1_);
+  EXPECT_TRUE(t.CanCreate(s_));
+}
+
+TEST_F(ActionTreeTest, CommitRequiresChildrenDone) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(s_);
+  EXPECT_FALSE(t.CanCommit(t1_)) << "child s is active";
+  t.ApplyAbort(s_);
+  EXPECT_TRUE(t.CanCommit(t1_));
+}
+
+TEST_F(ActionTreeTest, CommitOnlyConsidersActivatedChildren) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  // a1_ and s_ exist in the universal tree but were never activated: the
+  // precondition quantifies over children(A) ∩ vertices_T only.
+  EXPECT_TRUE(t.CanCommit(t1_));
+}
+
+TEST_F(ActionTreeTest, CommitRejectsAccessesAndNonActive) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1_);
+  EXPECT_FALSE(t.CanCommit(a1_)) << "accesses commit via perform";
+  t.ApplyCreate(t2_);
+  t.ApplyAbort(t2_);
+  EXPECT_FALSE(t.CanCommit(t2_));
+  EXPECT_FALSE(t.CanCommit(kRootAction));
+}
+
+TEST_F(ActionTreeTest, AbortAnyActiveAction) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1_);
+  EXPECT_TRUE(t.CanAbort(t1_));
+  EXPECT_TRUE(t.CanAbort(a1_)) << "level-1 abort applies to accesses too";
+  t.ApplyAbort(a1_);
+  EXPECT_FALSE(t.CanAbort(a1_));
+  EXPECT_FALSE(t.CanAbort(kRootAction));
+}
+
+TEST_F(ActionTreeTest, PerformCommitsAndLabels) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1_);
+  EXPECT_TRUE(t.CanPerform(a1_));
+  EXPECT_FALSE(t.CanPerform(t1_)) << "only accesses perform";
+  t.ApplyPerform(a1_, 0);
+  EXPECT_TRUE(t.IsCommitted(a1_));
+  EXPECT_TRUE(t.HasLabel(a1_));
+  EXPECT_EQ(t.LabelOf(a1_), 0);
+  EXPECT_FALSE(t.CanPerform(a1_)) << "perform is once";
+  ASSERT_EQ(t.Datasteps(0).size(), 1u);
+  EXPECT_EQ(t.Datasteps(0)[0], a1_);
+}
+
+TEST_F(ActionTreeTest, ChildrenInTracksActivation) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(s_);
+  t.ApplyCreate(a1_);
+  ASSERT_EQ(t.ChildrenIn(t1_).size(), 2u);
+  EXPECT_EQ(t.ChildrenIn(t1_)[0], s_);
+  EXPECT_EQ(t.ChildrenIn(t1_)[1], a1_);
+  EXPECT_TRUE(t.ChildrenIn(t2_).empty());
+}
+
+// ---------------------------------------------------------------------
+// Visibility (paper §3.3).
+
+TEST_F(ActionTreeTest, AncestorsAreVisible) {
+  // Lemma 5a: B ∈ desc(A) => A ∈ visible(B).
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(s_);
+  t.ApplyCreate(a2_);
+  EXPECT_TRUE(t.IsVisibleTo(t1_, a2_));
+  EXPECT_TRUE(t.IsVisibleTo(kRootAction, a2_));
+  EXPECT_TRUE(t.IsVisibleTo(a2_, a2_));
+}
+
+TEST_F(ActionTreeTest, ActiveSubtransactionMasksItsDescendants) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(s_);
+  t.ApplyCreate(a2_);
+  t.ApplyPerform(a2_, 0);
+  // a2 committed but s still active: a2 visible to s's descendants and to
+  // s itself, but not to t1 or beyond.
+  EXPECT_TRUE(t.IsVisibleTo(a2_, s_));
+  EXPECT_FALSE(t.IsVisibleTo(a2_, t1_));
+  EXPECT_FALSE(t.IsVisibleTo(a2_, kRootAction));
+  t.ApplyCommit(s_);
+  EXPECT_TRUE(t.IsVisibleTo(a2_, t1_));
+  EXPECT_FALSE(t.IsVisibleTo(a2_, kRootAction)) << "t1 still active";
+}
+
+TEST_F(ActionTreeTest, VisibilityCrossesSubtreesOnlyWhenCommittedHighEnough) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1_);
+  t.ApplyPerform(a1_, 0);
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a3_);
+  // a1 committed inside active t1: invisible to t2's subtree.
+  EXPECT_FALSE(t.IsVisibleTo(a1_, a3_));
+  t.ApplyCommit(t1_);
+  EXPECT_TRUE(t.IsVisibleTo(a1_, a3_));
+}
+
+TEST_F(ActionTreeTest, AbortedActionsAreNotVisibleOutside) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1_);
+  t.ApplyPerform(a1_, 0);
+  t.ApplyAbort(t1_);
+  t.ApplyCreate(t2_);
+  EXPECT_FALSE(t.IsVisibleTo(a1_, t2_));
+  // ...but still visible inside the aborted subtree (visibility is about
+  // commitment of intermediate ancestors, not liveness).
+  EXPECT_TRUE(t.IsVisibleTo(a1_, t1_));
+}
+
+TEST_F(ActionTreeTest, VisibleDatastepsFiltersByObjectAndVisibility) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1_);
+  t.ApplyPerform(a1_, 0);
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a3_);
+  t.ApplyPerform(a3_, 0);
+  // From t2's viewpoint: a3 yes (own subtree), a1 no (t1 active).
+  std::vector<ActionId> vis = t.VisibleDatasteps(t2_, 0);
+  ASSERT_EQ(vis.size(), 1u);
+  EXPECT_EQ(vis[0], a3_);
+}
+
+// ---------------------------------------------------------------------
+// Liveness (paper §3.3) and Lemma 6.
+
+TEST_F(ActionTreeTest, LivenessFollowsAncestry) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(s_);
+  t.ApplyCreate(a2_);
+  EXPECT_TRUE(t.IsLive(a2_));
+  t.ApplyAbort(t1_);
+  EXPECT_FALSE(t.IsLive(a2_)) << "orphaned by ancestor abort";
+  EXPECT_FALSE(t.IsLive(s_));
+  EXPECT_FALSE(t.IsLive(t1_));
+  EXPECT_FALSE(t.Contains(t2_)) << "t2 was never activated in this test";
+}
+
+TEST(ActionTreePropertyTest, Lemma5VisibilityProperties) {
+  // Property sweep of Lemma 5(b)-(e) over random trees.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = MakeRandomRegistry(rng);
+    ActionTree t = RandomTreeState(reg, rng, 40);
+    const auto& verts = t.Vertices();
+    for (ActionId a : verts) {
+      for (ActionId b : verts) {
+        // 5b: A ∈ visible(B) iff A ∈ visible(lca(A,B)).
+        EXPECT_EQ(t.IsVisibleTo(a, b), t.IsVisibleTo(a, reg.Lca(a, b)))
+            << "seed " << seed << " a=" << a << " b=" << b;
+        // 5d: A ∈ desc(B) and C ∈ visible(B) => C ∈ visible(A).
+        for (ActionId c : verts) {
+          if (reg.IsAncestor(b, a) && t.IsVisibleTo(c, b)) {
+            EXPECT_TRUE(t.IsVisibleTo(c, a))
+                << "Lemma 5d violated, seed " << seed;
+          }
+          // 5c: transitivity.
+          if (t.IsVisibleTo(a, b) && t.IsVisibleTo(b, c)) {
+            EXPECT_TRUE(t.IsVisibleTo(a, c))
+                << "Lemma 5c violated, seed " << seed;
+          }
+          // 5e: A ∈ desc(B), A ∈ visible(C) => B ∈ visible(C).
+          if (reg.IsAncestor(b, a) && t.IsVisibleTo(a, c)) {
+            EXPECT_TRUE(t.IsVisibleTo(b, c))
+                << "Lemma 5e violated, seed " << seed;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ActionTreePropertyTest, Lemma6VisibleFromLiveIsLive) {
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = MakeRandomRegistry(rng);
+    ActionTree t = RandomTreeState(reg, rng, 40);
+    for (ActionId a : t.Vertices()) {
+      if (!t.IsLive(a)) continue;
+      for (ActionId b : t.Vertices()) {
+        if (t.IsVisibleTo(b, a)) {
+          EXPECT_TRUE(t.IsLive(b)) << "Lemma 6 violated, seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// perm(T) (paper §3.4) and Lemma 7.
+
+TEST_F(ActionTreeTest, PermKeepsOnlyTopCommittedWork) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1_);
+  t.ApplyPerform(a1_, 0);
+  t.ApplyCommit(t1_);
+  t.ApplyCreate(t2_);
+  t.ApplyCreate(a3_);
+  t.ApplyPerform(a3_, 5);
+  // t2 is still active: its subtree is not permanent yet.
+  ActionTree perm = t.Perm();
+  EXPECT_TRUE(perm.Contains(t1_));
+  EXPECT_TRUE(perm.Contains(a1_));
+  EXPECT_FALSE(perm.Contains(t2_));
+  EXPECT_FALSE(perm.Contains(a3_));
+  EXPECT_EQ(perm.LabelOf(a1_), 0);
+  ASSERT_EQ(perm.Datasteps(0).size(), 1u);
+}
+
+TEST_F(ActionTreeTest, PermDropsAbortedSubtrees) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(a1_);
+  t.ApplyPerform(a1_, 0);
+  t.ApplyAbort(t1_);
+  ActionTree perm = t.Perm();
+  EXPECT_EQ(perm.size(), 1u) << "only U remains";
+}
+
+TEST(ActionTreePropertyTest, Lemma7PermVerticesMutuallyVisible) {
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = MakeRandomRegistry(rng);
+    ActionTree t = RandomTreeState(reg, rng, 50);
+    ActionTree perm = t.Perm();
+    for (ActionId a : perm.Vertices()) {
+      for (ActionId b : perm.Vertices()) {
+        EXPECT_TRUE(perm.IsVisibleTo(b, a))
+            << "Lemma 7 violated, seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(ActionTreePropertyTest, PermIsIdempotent) {
+  for (std::uint64_t seed = 300; seed < 320; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = MakeRandomRegistry(rng);
+    ActionTree t = RandomTreeState(reg, rng, 50);
+    ActionTree p1 = t.Perm();
+    ActionTree p2 = p1.Perm();
+    EXPECT_TRUE(p1 == p2) << "perm(perm(T)) != perm(T), seed " << seed;
+  }
+}
+
+TEST(ActionTreePropertyTest, PermClosedUnderParent) {
+  for (std::uint64_t seed = 400; seed < 420; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = MakeRandomRegistry(rng);
+    ActionTree t = RandomTreeState(reg, rng, 50);
+    ActionTree perm = t.Perm();
+    for (ActionId a : perm.Vertices()) {
+      if (a == kRootAction) continue;
+      EXPECT_TRUE(perm.Contains(reg.Parent(a)))
+          << "Lemma 5e closure violated, seed " << seed;
+    }
+  }
+}
+
+TEST_F(ActionTreeTest, EqualityDetectsStatusAndLabelDiffs) {
+  ActionTree t(&reg_), u(&reg_);
+  EXPECT_TRUE(t == u);
+  t.ApplyCreate(t1_);
+  EXPECT_FALSE(t == u);
+  u.ApplyCreate(t1_);
+  EXPECT_TRUE(t == u);
+  t.ApplyCommit(t1_);
+  u.ApplyAbort(t1_);
+  EXPECT_FALSE(t == u);
+}
+
+}  // namespace
+}  // namespace rnt::action

@@ -1,0 +1,198 @@
+// Tests of the event-state-algebra framework itself — including the
+// crucial *negative* cases: the refinement checker and validity replay
+// must detect violations, or every green refinement test is meaningless.
+
+#include "algebra/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "aat/aat_algebra.h"
+#include "algebra/events.h"
+#include "spec/spec_algebra.h"
+#include "valuemap/value_map_algebra.h"
+#include "versionmap/version_map_algebra.h"
+
+namespace rnt::algebra {
+namespace {
+
+using action::ActionRegistry;
+using action::Update;
+
+/// A toy algebra: states are integers, events add a value but only when
+/// the result stays within [0, bound].
+struct CounterAlgebra {
+  using State = int;
+  using Event = int;
+  int bound;
+  State Initial() const { return 0; }
+  bool Defined(const State& s, const Event& e) const {
+    return s + e >= 0 && s + e <= bound;
+  }
+  void Apply(State& s, const Event& e) const { s += e; }
+};
+
+static_assert(EventStateAlgebra<CounterAlgebra>);
+
+TEST(AlgebraFrameworkTest, RunReplaysValidSequences) {
+  CounterAlgebra alg{10};
+  std::vector<int> seq{3, 4, -2, 5};
+  auto result = ::rnt::algebra::Run(alg, std::span<const int>(seq));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 10);
+  EXPECT_TRUE(IsValidSequence(alg, std::span<const int>(seq)));
+}
+
+TEST(AlgebraFrameworkTest, RunRejectsInvalidPrefix) {
+  CounterAlgebra alg{10};
+  std::vector<int> seq{3, 9, -2};  // 3+9 exceeds the bound
+  EXPECT_FALSE(algebra::Run(alg, std::span<const int>(seq)).has_value());
+  EXPECT_FALSE(IsValidSequence(alg, std::span<const int>(seq)));
+}
+
+TEST(AlgebraFrameworkTest, RandomRunOnlyTakesEnabledSteps) {
+  CounterAlgebra alg{5};
+  Rng rng(3);
+  auto run = RandomRun(
+      alg,
+      [](const int&) {
+        return std::vector<int>{1, 2, -1, 7};  // 7 is never enabled... at 0
+      },
+      rng, 50);
+  // Replay must succeed — RandomRun promises valid computations.
+  EXPECT_TRUE(IsValidSequence(alg, std::span<const int>(run.events)));
+  EXPECT_GE(run.state, 0);
+  EXPECT_LE(run.state, 5);
+}
+
+TEST(AlgebraFrameworkTest, MapSequenceDropsNullImages) {
+  std::vector<int> lower{1, -1, 2, -2, 3};
+  auto upper = MapSequence<int>(std::span<const int>(lower),
+                                [](const int& e) -> std::optional<int> {
+                                  if (e < 0) return std::nullopt;  // Λ
+                                  return e * 10;
+                                });
+  EXPECT_EQ(upper, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(AlgebraFrameworkTest, CheckRefinementDetectsUndefinedImage) {
+  // Lower algebra: bound 10. Upper algebra: bound 5. The identity map is
+  // NOT a simulation — the checker must say so.
+  CounterAlgebra lower{10}, upper{5};
+  std::vector<int> seq{3, 4};  // valid below, 3+4 > 5 above
+  Status st = CheckRefinement(
+      lower, upper, std::span<const int>(seq),
+      [](const int& e) { return std::optional<int>(e); });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AlgebraFrameworkTest, CheckRefinementDetectsInvalidLowerRun) {
+  CounterAlgebra lower{2}, upper{100};
+  std::vector<int> seq{3};  // not even valid in the lower algebra
+  Status st = CheckRefinement(
+      lower, upper, std::span<const int>(seq),
+      [](const int& e) { return std::optional<int>(e); });
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(AlgebraFrameworkTest, CheckRefinementRunsStateCheck) {
+  CounterAlgebra lower{10}, upper{10};
+  std::vector<int> seq{1, 1, 1};
+  int calls = 0;
+  Status st = CheckRefinement(
+      lower, upper, std::span<const int>(seq),
+      [](const int& e) { return std::optional<int>(e); },
+      [&](const int& ls, const int& us) -> Status {
+        ++calls;
+        if (ls != us) return Status::Internal("diverged");
+        return Status::Ok();
+      });
+  EXPECT_TRUE(st.ok()) << st;
+  EXPECT_EQ(calls, 4) << "initial state + one per event";
+}
+
+TEST(AlgebraFrameworkTest, CheckRefinementPropagatesStateCheckFailure) {
+  CounterAlgebra lower{10}, upper{10};
+  std::vector<int> seq{1, 1};
+  Status st = CheckRefinement(
+      lower, upper, std::span<const int>(seq),
+      [](const int& e) { return std::optional<int>(e); },
+      [&](const int& ls, const int&) -> Status {
+        if (ls >= 2) return Status::Internal("tripwire");
+        return Status::Ok();
+      });
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("tripwire"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Negative refinement between the *real* levels: corrupt a valid lower
+// run and require detection.
+
+TEST(AlgebraFrameworkTest, CorruptedMossRunIsRejectedUpstairs) {
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId t2 = reg.NewAction(kRootAction);
+  ActionId a1 = reg.NewAccess(t1, 0, Update::Add(1));
+  ActionId a2 = reg.NewAccess(t2, 0, Update::Add(2));
+  using E = LockEvent;
+  // A sequence that is INVALID at level 2 (a2 performs while a1's branch
+  // is live and invisible) — the AAT algebra must reject its image even
+  // though each tree event is individually plausible.
+  std::vector<TreeEvent> bad{
+      Create{t1}, Create{t2}, Create{a1}, Create{a2},
+      Perform{a1, 0}, Perform{a2, 0},  // d12 violation at the second
+  };
+  aat::AatAlgebra aat_alg(&reg);
+  EXPECT_FALSE(
+      IsValidSequence(aat_alg, std::span<const TreeEvent>(bad)));
+  // And the same shape at level 4: performing without the lock.
+  std::vector<E> bad4{
+      E{Create{t1}}, E{Create{t2}}, E{Create{a1}}, E{Create{a2}},
+      E{Perform{a1, 0}}, E{Perform{a2, 0}},
+  };
+  valuemap::ValueMapAlgebra val_alg(&reg);
+  EXPECT_FALSE(IsValidSequence(val_alg, std::span<const E>(bad4)));
+}
+
+TEST(AlgebraFrameworkTest, WrongValueRejectedAtEveryLockLevel) {
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId a1 = reg.NewAccess(t1, 0, Update::Add(1));
+  using E = LockEvent;
+  std::vector<E> wrong{E{Create{t1}}, E{Create{a1}}, E{Perform{a1, 5}}};
+  valuemap::ValueMapAlgebra val_alg(&reg);
+  versionmap::VersionMapAlgebra vm_alg(&reg);
+  EXPECT_FALSE(IsValidSequence(val_alg, std::span<const E>(wrong)));
+  EXPECT_FALSE(IsValidSequence(vm_alg, std::span<const E>(wrong)));
+  std::vector<E> right{E{Create{t1}}, E{Create{a1}}, E{Perform{a1, 0}}};
+  EXPECT_TRUE(IsValidSequence(val_alg, std::span<const E>(right)));
+  EXPECT_TRUE(IsValidSequence(vm_alg, std::span<const E>(right)));
+}
+
+TEST(AlgebraFrameworkTest, SpecRejectsSerializabilityViolation) {
+  // The end-to-end negative: a lost-update interleaving is structurally
+  // fine at the raw tree level but the spec's constraint C rejects the
+  // second commit.
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId t2 = reg.NewAction(kRootAction);
+  ActionId a1 = reg.NewAccess(t1, 0, Update::Add(1));
+  ActionId a2 = reg.NewAccess(t2, 0, Update::Add(2));
+  std::vector<TreeEvent> lost_update{
+      Create{t1}, Create{t2}, Create{a1}, Create{a2},
+      Perform{a1, 0}, Perform{a2, 0}, Commit{t1}, Commit{t2},
+  };
+  spec::SpecAlgebra with_c(&reg);
+  EXPECT_FALSE(
+      IsValidSequence(with_c, std::span<const TreeEvent>(lost_update)));
+  spec::SpecAlgebra::Options raw;
+  raw.enforce_serializability = false;
+  spec::SpecAlgebra without_c(&reg, raw);
+  EXPECT_TRUE(
+      IsValidSequence(without_c, std::span<const TreeEvent>(lost_update)));
+}
+
+}  // namespace
+}  // namespace rnt::algebra

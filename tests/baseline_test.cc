@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "baseline/flat_engine.h"
+#include "baseline/mvto_engine.h"
+
+namespace rnt::baseline {
+namespace {
+
+using action::Update;
+
+TEST(FlatEngineTest, BasicCommit) {
+  FlatEngine eng;
+  auto t = eng.Begin();
+  ASSERT_TRUE(t->Put(0, 9).ok());
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_EQ(eng.ReadCommitted(0), 9);
+  EXPECT_EQ(eng.name(), "flat-2pl");
+}
+
+TEST(FlatEngineTest, ChildIsFacadeOverRoot) {
+  FlatEngine eng;
+  auto t = eng.Begin();
+  auto c = t->BeginChild();
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE((*c)->Put(0, 5).ok());
+  ASSERT_TRUE((*c)->Commit().ok());
+  // The "child commit" did not publish anything: work belongs to the root.
+  EXPECT_EQ(eng.ReadCommitted(0), 0);
+  auto v = t->Get(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 5);
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_EQ(eng.ReadCommitted(0), 5);
+}
+
+TEST(FlatEngineTest, ChildAbortKillsWholeTransaction) {
+  // The defining difference from the nested engine (experiment E2).
+  FlatEngine eng;
+  auto t = eng.Begin();
+  ASSERT_TRUE(t->Put(0, 1).ok());
+  auto c = t->BeginChild();
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE((*c)->Put(1, 2).ok());
+  ASSERT_TRUE((*c)->Abort().ok());
+  // Root is dead: even the pre-child write is gone.
+  EXPECT_TRUE(t->Get(0).status().IsAborted());
+  EXPECT_TRUE(t->Commit().IsAborted());
+  EXPECT_EQ(eng.ReadCommitted(0), 0);
+  EXPECT_EQ(eng.ReadCommitted(1), 0);
+}
+
+TEST(FlatEngineTest, GrandchildrenStillDelegate) {
+  FlatEngine eng;
+  auto t = eng.Begin();
+  auto c = t->BeginChild();
+  ASSERT_TRUE(c.ok());
+  auto g = (*c)->BeginChild();
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE((*g)->Put(0, 3).ok());
+  ASSERT_TRUE((*g)->Commit().ok());
+  ASSERT_TRUE((*c)->Commit().ok());
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_EQ(eng.ReadCommitted(0), 3);
+}
+
+TEST(MvtoEngineTest, BasicCommitAndDurability) {
+  MvtoEngine eng;
+  auto t = eng.Begin();
+  ASSERT_TRUE(t->Put(0, 11).ok());
+  auto v = t->Get(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 11) << "reads own tentative write";
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_EQ(eng.ReadCommitted(0), 11);
+}
+
+TEST(MvtoEngineTest, SnapshotOrderingByTimestamp) {
+  MvtoEngine eng;
+  {
+    auto t = eng.Begin();
+    ASSERT_TRUE(t->Put(0, 1).ok());
+    ASSERT_TRUE(t->Commit().ok());
+  }
+  auto old_reader = eng.Begin();   // ts k
+  auto writer = eng.Begin();       // ts k+1
+  ASSERT_TRUE(writer->Put(0, 2).ok());
+  ASSERT_TRUE(writer->Commit().ok());
+  // The older reader still sees the version at its timestamp.
+  auto v = old_reader->Get(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1);
+  ASSERT_TRUE(old_reader->Commit().ok());
+}
+
+TEST(MvtoEngineTest, StaleWriteAborts) {
+  MvtoEngine eng;
+  auto older = eng.Begin();
+  auto younger = eng.Begin();
+  auto r = younger->Get(0);
+  ASSERT_TRUE(r.ok());
+  // Now the older transaction tries to write the version the younger
+  // already read: classic MVTO stale-write abort.
+  Status s = older->Put(0, 5);
+  EXPECT_TRUE(s.IsAborted()) << s;
+  EXPECT_GE(eng.stats().conflict_aborts, 1u);
+  ASSERT_TRUE(younger->Commit().ok());
+}
+
+TEST(MvtoEngineTest, DirtyReadAborts) {
+  MvtoEngine eng;
+  auto writer = eng.Begin();
+  ASSERT_TRUE(writer->Put(0, 5).ok());
+  auto reader = eng.Begin();  // younger: governing version is tentative
+  Status s = reader->Get(0).status();
+  EXPECT_TRUE(s.IsAborted()) << s;
+  ASSERT_TRUE(writer->Commit().ok());
+}
+
+TEST(MvtoEngineTest, AbortRemovesTentativeVersions) {
+  MvtoEngine eng;
+  auto t = eng.Begin();
+  ASSERT_TRUE(t->Put(0, 7).ok());
+  ASSERT_TRUE(t->Abort().ok());
+  EXPECT_EQ(eng.ReadCommitted(0), 0);
+  auto t2 = eng.Begin();
+  auto v = t2->Get(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0);
+  ASSERT_TRUE(t2->Commit().ok());
+}
+
+TEST(MvtoEngineTest, ChildFacadeSharesTimestamp) {
+  MvtoEngine eng;
+  auto t = eng.Begin();
+  auto c = t->BeginChild();
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE((*c)->Put(0, 4).ok());
+  ASSERT_TRUE((*c)->Commit().ok());
+  auto v = t->Get(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 4);
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_EQ(eng.ReadCommitted(0), 4);
+}
+
+TEST(MvtoEngineTest, RaiiAbortsRoot) {
+  MvtoEngine eng;
+  { auto t = eng.Begin(); ASSERT_TRUE(t->Put(0, 9).ok()); }
+  EXPECT_EQ(eng.ReadCommitted(0), 0);
+  EXPECT_GE(eng.stats().aborted, 1u);
+}
+
+TEST(MvtoEngineTest, CounterUnderConcurrencyWithRetries) {
+  MvtoEngine eng;
+  constexpr int kWorkers = 4, kIncr = 25;
+  std::atomic<long> committed{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncr; ++i) {
+        for (int attempt = 0; attempt < 50; ++attempt) {
+          auto t = eng.Begin();
+          auto r = t->Apply(0, action::Update::Add(1));
+          if (r.ok() && t->Commit().ok()) {
+            committed.fetch_add(1);
+            break;
+          }
+          (void)t->Abort();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(eng.ReadCommitted(0), committed.load());
+  EXPECT_GT(committed.load(), 0);
+}
+
+}  // namespace
+}  // namespace rnt::baseline

@@ -1,0 +1,167 @@
+// Engine-to-theory conformance: multithreaded single-mode engine traces,
+// lowered to the level-4 event vocabulary, must be *valid computations*
+// of the proven ValueMapAlgebra — and from there refine all the way to
+// the serializability spec (Theorem 29 applied to the real engine).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "aat/aat_algebra.h"
+#include "algebra/algebra.h"
+#include "common/random.h"
+#include "spec/spec_algebra.h"
+#include "txn/transaction_manager.h"
+#include "valuemap/value_map_algebra.h"
+#include "versionmap/version_map_algebra.h"
+
+namespace rnt::txn {
+namespace {
+
+using action::Update;
+using algebra::LockEvent;
+using algebra::TreeEvent;
+
+/// Runs a small concurrent workload on a single-mode engine and returns
+/// its trace.
+Trace RunSingleModeWorkload(std::uint64_t seed, int workers, int txns,
+                            int objects, double read_fraction) {
+  TransactionManager::Options opt;
+  opt.single_mode_locks = true;
+  opt.record_trace = true;
+  TransactionManager mgr(opt);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(seed * 131 + w);
+      for (int i = 0; i < txns; ++i) {
+        auto t = mgr.Begin();
+        bool ok = true;
+        int children = 1 + static_cast<int>(rng.Below(2));
+        for (int c = 0; c < children && ok; ++c) {
+          auto ch = t->BeginChild();
+          if (!ch.ok()) {
+            ok = false;
+            break;
+          }
+          for (int a = 0; a < 2; ++a) {
+            ObjectId x = static_cast<ObjectId>(rng.Below(objects));
+            auto r = rng.Chance(read_fraction)
+                         ? (*ch)->Apply(x, Update::Read())
+                         : (*ch)->Apply(x, Update::Add(1));
+            if (!r.ok()) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok || rng.Chance(0.15)) {
+            (void)(*ch)->Abort();
+            ok = t->Get(0).ok();  // parent alive? continue : restart
+          } else {
+            ok = (*ch)->Commit().ok();
+          }
+        }
+        if (ok && rng.Chance(0.9)) {
+          (void)t->Commit();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  return mgr.TakeTrace();
+}
+
+TEST(ConformanceTest, LoweredTraceIsValidLevel4Computation) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Trace trace = RunSingleModeWorkload(seed, 4, 10, 3, 0.4);
+    auto lowered = LowerTraceToLockEvents(trace);
+    ASSERT_TRUE(lowered.ok()) << lowered.status();
+    valuemap::ValueMapAlgebra alg(lowered->registry.get());
+    // Validate step by step for a precise failure location.
+    auto s = alg.Initial();
+    for (std::size_t i = 0; i < lowered->events.size(); ++i) {
+      ASSERT_TRUE(alg.Defined(s, lowered->events[i]))
+          << "engine step not a valid Moss step: event " << i << " = "
+          << algebra::ToString(lowered->events[i]) << " (seed " << seed
+          << ")";
+      alg.Apply(s, lowered->events[i]);
+    }
+    // The lowered run's tree matches the plain replay.
+    auto replayed = ReplayTrace(trace);
+    ASSERT_TRUE(replayed.ok());
+    EXPECT_TRUE(s.tree == replayed->tree);
+  }
+}
+
+TEST(ConformanceTest, LoweredTraceRefinesToVersionMapLevel) {
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    Trace trace = RunSingleModeWorkload(seed, 3, 8, 3, 0.3);
+    auto lowered = LowerTraceToLockEvents(trace);
+    ASSERT_TRUE(lowered.ok()) << lowered.status();
+    const action::ActionRegistry& reg = *lowered->registry;
+    valuemap::ValueMapAlgebra lower(&reg);
+    versionmap::VersionMapAlgebra upper(&reg);
+    Status st = algebra::CheckRefinement(
+        lower, upper, std::span<const LockEvent>(lowered->events),
+        [](const LockEvent& e) { return std::optional<LockEvent>(e); },
+        [&](const valuemap::ValState& ls,
+            const versionmap::VmState& us) -> Status {
+          if (!(valuemap::Eval(us.vmap, reg) == ls.vmap)) {
+            return Status::Internal("eval(W) != V");
+          }
+          return versionmap::CheckLemma16(us);
+        });
+    EXPECT_TRUE(st.ok()) << st << " seed " << seed;
+  }
+}
+
+TEST(ConformanceTest, LoweredTraceRefinesToSpecWithOracle) {
+  // Small runs only: the spec's C-check runs the exponential oracle.
+  for (std::uint64_t seed = 20; seed < 24; ++seed) {
+    Trace trace = RunSingleModeWorkload(seed, 2, 3, 2, 0.3);
+    auto lowered = LowerTraceToLockEvents(trace);
+    ASSERT_TRUE(lowered.ok()) << lowered.status();
+    const action::ActionRegistry& reg = *lowered->registry;
+    // Down-map lock events to tree events.
+    auto tree_events = algebra::MapSequence<TreeEvent>(
+        std::span<const LockEvent>(lowered->events), algebra::LockToTreeEvent);
+    aat::AatAlgebra aat_alg(&reg);
+    auto aat_state =
+        algebra::Run(aat_alg, std::span<const TreeEvent>(tree_events));
+    ASSERT_TRUE(aat_state.has_value())
+        << "engine run not a valid level-2 computation, seed " << seed;
+    spec::SpecAlgebra spec_alg(&reg);
+    auto spec_state =
+        algebra::Run(spec_alg, std::span<const TreeEvent>(tree_events));
+    ASSERT_TRUE(spec_state.has_value())
+        << "engine run violates the serializability spec, seed " << seed;
+    EXPECT_TRUE(aat::IsPermDataSerializable(*aat_state));
+  }
+}
+
+TEST(ConformanceTest, LoweringRejectsNothingButTracksLocks) {
+  // Deterministic single-thread scenario with known lock movement.
+  TransactionManager::Options opt;
+  opt.single_mode_locks = true;
+  opt.record_trace = true;
+  TransactionManager mgr(opt);
+  auto t = mgr.Begin();
+  auto c = t->BeginChild();
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE((*c)->Apply(0, Update::Add(1)).ok());
+  ASSERT_TRUE((*c)->Commit().ok());
+  ASSERT_TRUE(t->Commit().ok());
+  auto lowered = LowerTraceToLockEvents(mgr.TakeTrace());
+  ASSERT_TRUE(lowered.ok());
+  // begin t, begin c, (create+perform+release) access, commit c,
+  // release c->t, commit t, release t->U.
+  ASSERT_EQ(lowered->events.size(), 9u);
+  valuemap::ValueMapAlgebra alg(lowered->registry.get());
+  auto s = algebra::Run(alg, std::span<const LockEvent>(lowered->events));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->vmap.Get(0, kRootAction), 1) << "value drained to the root";
+  EXPECT_EQ(s->vmap.PrincipalAction(0, *lowered->registry), kRootAction);
+}
+
+}  // namespace
+}  // namespace rnt::txn

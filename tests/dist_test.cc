@@ -1,0 +1,245 @@
+#include "dist/dist_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/algebra.h"
+#include "testutil.h"
+
+namespace rnt::dist {
+namespace {
+
+using action::ActionRegistry;
+using action::ActionStatus;
+using action::Update;
+
+TEST(ActionSummaryTest, BasicStatusTracking) {
+  ActionSummary s;
+  EXPECT_FALSE(s.Contains(1));
+  s.AddActive(1);
+  EXPECT_TRUE(s.IsActive(1));
+  s.SetStatus(1, ActionStatus::kCommitted);
+  EXPECT_TRUE(s.IsCommitted(1));
+  EXPECT_TRUE(s.IsDone(1));
+  EXPECT_FALSE(s.IsAborted(1));
+}
+
+TEST(ActionSummaryTest, MergeIsMonotone) {
+  ActionSummary know, stale;
+  know.AddActive(1);
+  know.SetStatus(1, ActionStatus::kCommitted);
+  stale.AddActive(1);  // old knowledge: still active
+  know.MergeFrom(stale);
+  EXPECT_TRUE(know.IsCommitted(1)) << "merge must not regress status";
+  stale.MergeFrom(know);
+  EXPECT_TRUE(stale.IsCommitted(1)) << "merge upgrades status";
+}
+
+TEST(ActionSummaryTest, SubsummaryRelation) {
+  ActionSummary big;
+  big.AddActive(1);
+  big.AddActive(2);
+  big.SetStatus(2, ActionStatus::kAborted);
+  ActionSummary small;
+  small.AddActive(2);  // weaker knowledge of 2
+  EXPECT_TRUE(small.IsSubsummaryOf(big));
+  small.SetStatus(2, ActionStatus::kAborted);
+  EXPECT_TRUE(small.IsSubsummaryOf(big));
+  small.SetStatus(2, ActionStatus::kCommitted);
+  EXPECT_FALSE(small.IsSubsummaryOf(big));
+  ActionSummary stranger;
+  stranger.AddActive(9);
+  EXPECT_FALSE(stranger.IsSubsummaryOf(big));
+}
+
+TEST(ActionSummaryTest, RandomSubIsAlwaysSubsummary) {
+  Rng rng(5);
+  ActionSummary s;
+  for (ActionId a = 1; a <= 10; ++a) {
+    s.AddActive(a);
+    if (a % 2 == 0) s.SetStatus(a, ActionStatus::kCommitted);
+    if (a % 5 == 0) s.SetStatus(a, ActionStatus::kAborted);
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(s.RandomSub(rng).IsSubsummaryOf(s));
+  }
+}
+
+TEST(TopologyTest, AccessesLiveWithTheirObjects) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId a = reg.NewAccess(t, 5, Update::Read());
+  Topology topo = Topology::RoundRobin(&reg, 3);
+  EXPECT_EQ(topo.HomeOfAction(a), topo.HomeOfObject(5));
+  EXPECT_EQ(topo.HomeOfObject(5), 5u % 3u);
+}
+
+TEST(TopologyTest, OriginIsParentsHomeExceptTopLevel) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);   // id 1
+  ActionId s = reg.NewAction(t);             // id 2
+  Topology topo = Topology::RoundRobin(&reg, 2);
+  EXPECT_EQ(topo.Origin(t), topo.HomeOfAction(t)) << "top-level";
+  EXPECT_EQ(topo.Origin(s), topo.HomeOfAction(t)) << "child born at parent";
+}
+
+class DistAlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t1_ = reg_.NewAction(kRootAction);                    // id 1
+    a1_ = reg_.NewAccess(t1_, 0, Update::Add(1));         // id 2, x0
+    t2_ = reg_.NewAction(kRootAction);                    // id 3
+    a2_ = reg_.NewAccess(t2_, 0, Update::Add(2));         // id 4, x0
+    topo_ = std::make_unique<Topology>(
+        &reg_, 2, [](ObjectId) -> NodeId { return 0; },
+        [this](ActionId a) -> NodeId { return a == t2_ ? 1u : 0u; });
+    alg_ = std::make_unique<DistAlgebra>(topo_.get());
+  }
+
+  void Step(DistState& s, const DistEvent& e) {
+    ASSERT_TRUE(alg_->Defined(s, e)) << ToString(e);
+    alg_->Apply(s, e);
+  }
+
+  ActionRegistry reg_;
+  ActionId t1_, a1_, t2_, a2_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<DistAlgebra> alg_;
+};
+
+TEST_F(DistAlgebraTest, CreateOnlyAtOrigin) {
+  auto s = alg_->Initial();
+  EXPECT_FALSE(alg_->Defined(s, NodeCreate{0, t2_})) << "t2 originates at 1";
+  EXPECT_TRUE(alg_->Defined(s, NodeCreate{1, t2_}));
+  EXPECT_TRUE(alg_->Defined(s, NodeCreate{0, t1_}));
+}
+
+TEST_F(DistAlgebraTest, ChildNeedsParentKnowledge) {
+  auto s = alg_->Initial();
+  // a2's origin is home(parent) = node 1; its parent t2 must be known
+  // there and uncommitted.
+  EXPECT_FALSE(alg_->Defined(s, NodeCreate{1, a2_}));
+  Step(s, NodeCreate{1, t2_});
+  EXPECT_TRUE(alg_->Defined(s, NodeCreate{1, a2_}));
+}
+
+TEST_F(DistAlgebraTest, PerformNeedsLocalKnowledgeAtHomeNode) {
+  auto s = alg_->Initial();
+  Step(s, NodeCreate{1, t2_});
+  Step(s, NodeCreate{1, a2_});
+  // a2 was created at node 1 (its origin), but its home (x0's home) is
+  // node 0, which has not heard of it yet: perform undefined.
+  EXPECT_FALSE(alg_->Defined(s, NodePerform{0, a2_, 0}));
+  // Propagate knowledge: node 1 sends its summary; node 0 receives.
+  Step(s, Send{1, 0, s.nodes[1].summary});
+  Step(s, Receive{0, s.buffer[0]});
+  EXPECT_TRUE(alg_->Defined(s, NodePerform{0, a2_, 0}));
+}
+
+TEST_F(DistAlgebraTest, FullDistributedCommitFlow) {
+  auto s = alg_->Initial();
+  // t1/a1 live at node 0 entirely.
+  Step(s, NodeCreate{0, t1_});
+  Step(s, NodeCreate{0, a1_});
+  Step(s, NodePerform{0, a1_, 0});
+  EXPECT_TRUE(s.nodes[0].vmap.IsDefined(0, a1_));
+  Step(s, NodeReleaseLock{0, a1_, 0});
+  Step(s, NodeCommit{0, t1_});
+  Step(s, NodeReleaseLock{0, t1_, 0});
+  EXPECT_EQ(s.nodes[0].vmap.Get(0, kRootAction), 1);
+  // t2 at node 1; its access runs at node 0 after knowledge flows.
+  Step(s, NodeCreate{1, t2_});
+  Step(s, NodeCreate{1, a2_});
+  Step(s, Send{1, 0, s.nodes[1].summary});
+  Step(s, Receive{0, s.buffer[0]});
+  Step(s, NodePerform{0, a2_, 1});
+  Step(s, NodeReleaseLock{0, a2_, 0});
+  // Commit of t2 happens at node 1: it must first learn a2 is done.
+  EXPECT_FALSE(alg_->Defined(s, NodeCommit{1, t2_}))
+      << "node 1 still believes a2 active";
+  Step(s, Send{0, 1, s.nodes[0].summary});
+  Step(s, Receive{1, s.buffer[1]});
+  Step(s, NodeCommit{1, t2_});
+  // Node 0 releases t2's lock only after hearing about the commit.
+  EXPECT_FALSE(alg_->Defined(s, NodeReleaseLock{0, t2_, 0}));
+  Step(s, Send{1, 0, s.nodes[1].summary});
+  Step(s, Receive{0, s.buffer[0]});
+  Step(s, NodeReleaseLock{0, t2_, 0});
+  EXPECT_EQ(s.nodes[0].vmap.Get(0, kRootAction), 3);
+}
+
+TEST_F(DistAlgebraTest, StaleAbortKnowledgeAllowsLoseLock) {
+  auto s = alg_->Initial();
+  Step(s, NodeCreate{0, t1_});
+  Step(s, NodeCreate{0, a1_});
+  Step(s, NodePerform{0, a1_, 0});
+  Step(s, NodeAbort{0, t1_});
+  // Node 0 knows t1 aborted: it may discard both locks.
+  EXPECT_TRUE(alg_->Defined(s, NodeLoseLock{0, a1_, 0}));
+  Step(s, NodeLoseLock{0, a1_, 0});
+  EXPECT_FALSE(s.nodes[0].vmap.IsDefined(0, a1_));
+}
+
+TEST_F(DistAlgebraTest, SendRequiresSubsummary) {
+  auto s = alg_->Initial();
+  Step(s, NodeCreate{0, t1_});
+  ActionSummary lie;
+  lie.AddActive(t1_);
+  lie.SetStatus(t1_, ActionStatus::kCommitted);
+  EXPECT_FALSE(alg_->Defined(s, Send{0, 1, lie}))
+      << "cannot send knowledge you do not have";
+  ActionSummary truth;
+  truth.AddActive(t1_);
+  EXPECT_TRUE(alg_->Defined(s, Send{0, 1, truth}));
+}
+
+TEST_F(DistAlgebraTest, ReceiveRequiresBufferedKnowledge) {
+  auto s = alg_->Initial();
+  ActionSummary sum;
+  sum.AddActive(t1_);
+  EXPECT_FALSE(alg_->Defined(s, Receive{1, sum})) << "nothing sent yet";
+  Step(s, NodeCreate{0, t1_});
+  Step(s, Send{0, 1, sum});
+  EXPECT_TRUE(alg_->Defined(s, Receive{1, sum}));
+  // Duplicated delivery is fine (M_j is cumulative knowledge).
+  Step(s, Receive{1, sum});
+  EXPECT_TRUE(alg_->Defined(s, Receive{1, sum}));
+}
+
+TEST(DistAlgebraPropertyTest, DoerLocalityHolds) {
+  // Local Domain / Local Changes (Lemma 22): an event's definability and
+  // effect depend only on its doer's component. We verify definability
+  // locality by perturbing a non-doer component.
+  Rng rng(77);
+  action::ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+  Topology topo = Topology::RoundRobin(&reg, 3);
+  DistAlgebra alg(&topo);
+  DistEventCandidates cand(&alg, 7);
+  auto run = algebra::RandomRun(alg, std::ref(cand), rng, 60);
+  // Ghost actions registered after the run: valid ids that the recorded
+  // events never touch, used to perturb non-doer components.
+  ActionId ghost1 = reg.NewAction(kRootAction);
+  ActionId ghost2 = reg.NewAction(kRootAction);
+  // Replay; at each step, scramble a non-doer node's summary and check
+  // Defined is unchanged.
+  auto s = alg.Initial();
+  for (const auto& e : run.events) {
+    NodeId doer = alg.Doer(e);
+    DistState scrambled = s;
+    for (NodeId other = 0; other < topo.k(); ++other) {
+      if (other != doer) scrambled.nodes[other].summary.AddActive(ghost1);
+    }
+    if (doer != topo.k()) {  // buffer perturbation for node events
+      for (NodeId j = 0; j < topo.k(); ++j) {
+        if (!std::holds_alternative<Send>(e)) {
+          scrambled.buffer[j].AddActive(ghost2);
+        }
+      }
+    }
+    EXPECT_EQ(alg.Defined(s, e), alg.Defined(scrambled, e))
+        << "locality violated for " << ToString(e);
+    alg.Apply(s, e);
+  }
+}
+
+}  // namespace
+}  // namespace rnt::dist

@@ -1,0 +1,138 @@
+// Direct property tests for the paper's Lemma 11 (monotonicity facts
+// about pairs of level-2 states with T ⊢ T') and Lemma 19 (eval
+// preserves principal action and value), which the other suites exercise
+// only indirectly.
+
+#include <gtest/gtest.h>
+
+#include "aat/aat_algebra.h"
+#include "algebra/algebra.h"
+#include "testutil.h"
+#include "valuemap/value_map_algebra.h"
+#include "versionmap/version_map_algebra.h"
+
+namespace rnt {
+namespace {
+
+using action::ActionRegistry;
+using action::ActionTree;
+using action::Update;
+
+/// Runs the level-2 algebra, snapshotting the state every few steps, and
+/// checks Lemma 11's clauses for every snapshot pair (earlier, later).
+TEST(Lemma11Test, DerivabilityMonotonicityProperties) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    aat::AatAlgebra alg(&reg);
+    std::vector<ActionTree> snaps;
+    auto s = alg.Initial();
+    snaps.push_back(s);
+    for (int step = 0; step < 60; ++step) {
+      std::vector<algebra::TreeEvent> enabled;
+      for (auto& e : aat::EventCandidates(s)) {
+        if (alg.Defined(s, e)) enabled.push_back(e);
+      }
+      if (enabled.empty()) break;
+      alg.Apply(s, enabled[rng.Below(enabled.size())]);
+      if (step % 7 == 0) snaps.push_back(s);
+    }
+    snaps.push_back(s);
+
+    for (std::size_t i = 0; i < snaps.size(); ++i) {
+      for (std::size_t j = i + 1; j < snaps.size(); ++j) {
+        const ActionTree& t = snaps[i];   // earlier (the lemma's T)
+        const ActionTree& t2 = snaps[j];  // later   (the lemma's T')
+        for (ActionId a : t.Vertices()) {
+          // (a) vertices/committed/aborted grow monotonically.
+          ASSERT_TRUE(t2.Contains(a)) << "seed " << seed;
+          if (t.IsCommitted(a)) EXPECT_TRUE(t2.IsCommitted(a));
+          if (t.IsAborted(a)) EXPECT_TRUE(t2.IsAborted(a));
+          // (d) visibility grows monotonically.
+          for (ActionId b : t.Vertices()) {
+            if (t.IsVisibleTo(b, a)) {
+              EXPECT_TRUE(t2.IsVisibleTo(b, a))
+                  << "Lemma 11d violated, seed " << seed;
+            }
+          }
+          // (e) liveness shrinks monotonically (live in T' => live in T).
+          if (t2.IsLive(a)) {
+            EXPECT_TRUE(t.IsLive(a)) << "Lemma 11e violated, seed " << seed;
+          }
+          // (f) committed parent in T => children present in T' were
+          // already done in T.
+          if (a != kRootAction && t.IsCommitted(a)) {
+            for (ActionId c : t2.ChildrenIn(a)) {
+              EXPECT_TRUE(t.Contains(c) && t.IsDone(c))
+                  << "Lemma 11f violated, seed " << seed;
+            }
+          }
+        }
+        // (a cont.) data order is an extension: per object, the earlier
+        // datastep sequence is a prefix of the later one.
+        for (ObjectId x : t.TouchedObjects()) {
+          const auto& d1 = t.Datasteps(x);
+          const auto& d2 = t2.Datasteps(x);
+          ASSERT_LE(d1.size(), d2.size());
+          EXPECT_TRUE(std::equal(d1.begin(), d1.end(), d2.begin()))
+              << "Lemma 11a/c violated (data not an extension), seed "
+              << seed;
+          // (b) labels are stable.
+          for (ActionId a : d1) {
+            EXPECT_EQ(t.LabelOf(a), t2.LabelOf(a))
+                << "Lemma 11b violated, seed " << seed;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Lemma19Test, EvalPreservesPrincipalActionAndValue) {
+  // Lemma 19, directly: for any well-formed version map V and object x,
+  // the principal action of x in V equals that in eval(V), and the
+  // principal values agree.
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    // Obtain version maps from random level-3 runs (always well-formed).
+    versionmap::VersionMapAlgebra alg(&reg);
+    auto run = algebra::RandomRun(
+        alg,
+        [](const versionmap::VmState& s) {
+          return versionmap::EventCandidates(s);
+        },
+        rng, 80);
+    const versionmap::VersionMap& v = run.state.vmap;
+    valuemap::ValueMap ev = valuemap::Eval(v, reg);
+    for (ObjectId x : v.TouchedObjects()) {
+      EXPECT_EQ(v.PrincipalAction(x, reg), ev.PrincipalAction(x, reg))
+          << "Lemma 19 (action) violated, seed " << seed;
+      EXPECT_EQ(v.PrincipalValue(x, reg), ev.PrincipalValue(x, reg))
+          << "Lemma 19 (value) violated, seed " << seed;
+    }
+    // And for untouched objects the principals trivially agree at U.
+    EXPECT_EQ(v.PrincipalAction(9999, reg), ev.PrincipalAction(9999, reg));
+  }
+}
+
+TEST(Lemma19Test, HandCraftedEvalExample) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId s = reg.NewAction(t);
+  ActionId a = reg.NewAccess(s, 0, Update::Add(3));
+  ActionId b = reg.NewAccess(s, 0, Update::MulAdd(2, 1));
+  versionmap::VersionMap v;
+  v.Set(0, t, {a});
+  v.Set(0, s, {a, b});
+  valuemap::ValueMap ev = valuemap::Eval(v, reg);
+  EXPECT_EQ(ev.Get(0, t), 3);
+  EXPECT_EQ(ev.Get(0, s), 2 * 3 + 1);
+  EXPECT_EQ(v.PrincipalAction(0, reg), s);
+  EXPECT_EQ(ev.PrincipalAction(0, reg), s);
+  EXPECT_EQ(v.PrincipalValue(0, reg), 7);
+  EXPECT_EQ(ev.PrincipalValue(0, reg), 7);
+}
+
+}  // namespace
+}  // namespace rnt

@@ -1,0 +1,172 @@
+#include "lock/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rnt::lock {
+namespace {
+
+/// A hand-built transaction forest for lock tests.
+class FakeAncestry : public Ancestry {
+ public:
+  /// Declares `child` with `parent` (kNoTxn for top level).
+  void Add(TxnId child, TxnId parent) { parent_[child] = parent; }
+
+  bool IsAncestor(TxnId anc, TxnId desc) const override {
+    if (anc == kNoTxn) return true;
+    for (TxnId c = desc; c != kNoTxn;) {
+      if (c == anc) return true;
+      auto it = parent_.find(c);
+      if (it == parent_.end()) return false;
+      c = it->second;
+    }
+    return false;
+  }
+
+ private:
+  std::map<TxnId, TxnId> parent_;
+};
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  /// Forest: 1 and 2 top-level; 1 -> {11, 12}; 11 -> {111}.
+  void SetUp() override {
+    anc_.Add(1, kNoTxn);
+    anc_.Add(2, kNoTxn);
+    anc_.Add(11, 1);
+    anc_.Add(12, 1);
+    anc_.Add(111, 11);
+    lm_ = std::make_unique<LockManager>(&anc_);
+  }
+
+  FakeAncestry anc_;
+  std::unique_ptr<LockManager> lm_;
+};
+
+TEST_F(LockManagerTest, WriteExcludesNonAncestors) {
+  EXPECT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite));
+  EXPECT_FALSE(lm_->TryAcquire(0, 12, LockMode::kWrite)) << "sibling";
+  EXPECT_FALSE(lm_->TryAcquire(0, 2, LockMode::kWrite)) << "other top";
+  EXPECT_FALSE(lm_->TryAcquire(0, 1, LockMode::kWrite))
+      << "a parent may not write while a child holds (the child is not an "
+         "ancestor of the parent)";
+  EXPECT_TRUE(lm_->TryAcquire(0, 111, LockMode::kWrite))
+      << "descendant of the holder may acquire";
+}
+
+TEST_F(LockManagerTest, ReadersShareAcrossSubtrees) {
+  EXPECT_TRUE(lm_->TryAcquire(0, 11, LockMode::kRead));
+  EXPECT_TRUE(lm_->TryAcquire(0, 12, LockMode::kRead)) << "sibling reader";
+  EXPECT_TRUE(lm_->TryAcquire(0, 2, LockMode::kRead)) << "foreign reader";
+  EXPECT_EQ(lm_->HolderCount(0), 3u);
+  // But no non-ancestor writer while readers exist.
+  EXPECT_FALSE(lm_->TryAcquire(0, 111, LockMode::kWrite))
+      << "12 and 2 hold read locks and are not ancestors of 111";
+}
+
+TEST_F(LockManagerTest, ReadBlockedOnlyByForeignWriters) {
+  EXPECT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite));
+  EXPECT_FALSE(lm_->TryAcquire(0, 2, LockMode::kRead));
+  EXPECT_TRUE(lm_->TryAcquire(0, 111, LockMode::kRead))
+      << "holder is an ancestor";
+}
+
+TEST_F(LockManagerTest, UpgradeBySameTxnAllowed) {
+  EXPECT_TRUE(lm_->TryAcquire(0, 11, LockMode::kRead));
+  EXPECT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite)) << "self upgrade";
+  EXPECT_TRUE(lm_->Holds(0, 11, LockMode::kRead));
+  EXPECT_TRUE(lm_->Holds(0, 11, LockMode::kWrite));
+}
+
+TEST_F(LockManagerTest, UpgradeBlockedByConcurrentReader) {
+  EXPECT_TRUE(lm_->TryAcquire(0, 11, LockMode::kRead));
+  EXPECT_TRUE(lm_->TryAcquire(0, 12, LockMode::kRead));
+  EXPECT_FALSE(lm_->TryAcquire(0, 11, LockMode::kWrite))
+      << "sibling 12 reads";
+}
+
+TEST_F(LockManagerTest, CommitInheritsToParentAsRetained) {
+  ASSERT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite));
+  lm_->OnCommit(11, 1);
+  EXPECT_FALSE(lm_->Holds(0, 11, LockMode::kWrite));
+  EXPECT_TRUE(lm_->Retains(0, 1, LockMode::kWrite));
+  // Sibling 12 is a descendant of retainer 1: may acquire.
+  EXPECT_TRUE(lm_->TryAcquire(0, 12, LockMode::kWrite));
+  // Foreign top-level 2 still excluded by 1's retained write.
+  EXPECT_FALSE(lm_->TryAcquire(0, 2, LockMode::kWrite));
+}
+
+TEST_F(LockManagerTest, TopLevelCommitReleasesEverything) {
+  ASSERT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite));
+  lm_->OnCommit(11, 1);
+  lm_->OnCommit(1, kNoTxn);
+  EXPECT_EQ(lm_->RecordCount(), 0u);
+  EXPECT_TRUE(lm_->TryAcquire(0, 2, LockMode::kWrite));
+}
+
+TEST_F(LockManagerTest, AbortDiscardsLocks) {
+  ASSERT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite));
+  ASSERT_TRUE(lm_->TryAcquire(1, 11, LockMode::kRead));
+  lm_->OnAbort(11);
+  EXPECT_EQ(lm_->RecordCount(), 0u);
+  EXPECT_TRUE(lm_->TryAcquire(0, 2, LockMode::kWrite));
+  EXPECT_TRUE(lm_->TryAcquire(1, 2, LockMode::kWrite));
+}
+
+TEST_F(LockManagerTest, WriteBlockedBySiblingReader) {
+  ASSERT_TRUE(lm_->TryAcquire(0, 11, LockMode::kRead));
+  EXPECT_FALSE(lm_->TryAcquire(0, 12, LockMode::kWrite))
+      << "a write needs ALL lock holders (readers included) to be "
+         "ancestors; sibling 11 holds a read lock";
+  // Once 11 commits its read lock up to the shared parent 1, sibling 12
+  // is a descendant of the retainer and may write.
+  lm_->OnCommit(11, 1);
+  EXPECT_TRUE(lm_->TryAcquire(0, 12, LockMode::kWrite));
+}
+
+TEST_F(LockManagerTest, RetainerChainDeepCommit) {
+  ASSERT_TRUE(lm_->TryAcquire(0, 111, LockMode::kWrite));
+  lm_->OnCommit(111, 11);
+  lm_->OnCommit(11, 1);
+  EXPECT_TRUE(lm_->Retains(0, 1, LockMode::kWrite));
+  EXPECT_FALSE(lm_->Retains(0, 11, LockMode::kWrite));
+  EXPECT_EQ(lm_->RetainerCount(0), 1u);
+  // 12 (child of 1) can now acquire; 2 cannot.
+  EXPECT_TRUE(lm_->TryAcquire(0, 12, LockMode::kWrite));
+  EXPECT_FALSE(lm_->TryAcquire(0, 2, LockMode::kWrite));
+}
+
+TEST_F(LockManagerTest, BlockersReportsConflictSet) {
+  ASSERT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite));
+  ASSERT_TRUE(lm_->TryAcquire(1, 2, LockMode::kRead));
+  std::vector<TxnId> b = lm_->Blockers(0, 2, LockMode::kWrite);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 11u);
+  EXPECT_TRUE(lm_->Blockers(0, 111, LockMode::kWrite).empty());
+  // Read request against a read holder: no blockers.
+  EXPECT_TRUE(lm_->Blockers(1, 11, LockMode::kRead).empty());
+}
+
+TEST_F(LockManagerTest, SingleModeTreatsReadsAsWrites) {
+  LockManager lm(&anc_, LockManager::Options{/*single_mode=*/true});
+  EXPECT_TRUE(lm.TryAcquire(0, 11, LockMode::kRead));
+  EXPECT_FALSE(lm.TryAcquire(0, 12, LockMode::kRead))
+      << "the paper's simplified variant serializes sibling readers";
+}
+
+TEST_F(LockManagerTest, RecordCountTracksFootprint) {
+  EXPECT_EQ(lm_->RecordCount(), 0u);
+  lm_->TryAcquire(0, 11, LockMode::kWrite);
+  lm_->TryAcquire(1, 11, LockMode::kWrite);
+  lm_->TryAcquire(1, 111, LockMode::kWrite);
+  EXPECT_EQ(lm_->RecordCount(), 3u);
+  lm_->OnCommit(111, 11);
+  EXPECT_EQ(lm_->RecordCount(), 3u) << "hold became retained on 11... "
+                                       "merged with 11's own hold plus x0";
+  lm_->OnAbort(11);
+  EXPECT_EQ(lm_->RecordCount(), 0u);
+}
+
+}  // namespace
+}  // namespace rnt::lock

@@ -1,0 +1,154 @@
+// Assorted coverage: event printers, rendering edge cases, engine
+// liveness under maximum contention, and multi-level version visibility.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "action/render.h"
+#include "algebra/events.h"
+#include "dist/dist_algebra.h"
+#include "txn/transaction_manager.h"
+
+namespace rnt {
+namespace {
+
+using action::Update;
+
+TEST(EventPrintTest, TreeAndLockEventsRender) {
+  EXPECT_EQ(algebra::ToString(algebra::TreeEvent{algebra::Create{3}}),
+            "create(3)");
+  EXPECT_EQ(algebra::ToString(algebra::TreeEvent{algebra::Commit{4}}),
+            "commit(4)");
+  EXPECT_EQ(algebra::ToString(algebra::TreeEvent{algebra::Abort{5}}),
+            "abort(5)");
+  EXPECT_EQ(algebra::ToString(algebra::TreeEvent{algebra::Perform{6, -2}}),
+            "perform(6, u=-2)");
+  EXPECT_EQ(
+      algebra::ToString(algebra::LockEvent{algebra::ReleaseLock{7, 1}}),
+      "release-lock(7, x1)");
+  EXPECT_EQ(algebra::ToString(algebra::LockEvent{algebra::LoseLock{8, 2}}),
+            "lose-lock(8, x2)");
+}
+
+TEST(EventPrintTest, DistEventsRender) {
+  EXPECT_EQ(dist::ToString(dist::DistEvent{dist::NodeCreate{1, 3}}),
+            "create(n1, 3)");
+  EXPECT_EQ(dist::ToString(dist::DistEvent{dist::NodePerform{0, 4, 9}}),
+            "perform(n0, 4, u=9)");
+  dist::ActionSummary s;
+  s.AddActive(1);
+  EXPECT_EQ(dist::ToString(dist::DistEvent{dist::Send{0, 1, s}}),
+            "send(n0 -> n1, |T'|=1)");
+  EXPECT_EQ(dist::ToString(dist::DistEvent{dist::Receive{1, s}}),
+            "receive(n1, |T'|=1)");
+  EXPECT_EQ(s.ToString(), "{1:active}");
+}
+
+TEST(RenderEdgeTest, TrivialTreeRenders) {
+  action::ActionRegistry reg;
+  action::ActionTree t(&reg);
+  std::string dot = action::ToDot(t);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  std::string text = action::ToIndentedString(t);
+  EXPECT_EQ(text, "U [active]\n");
+}
+
+TEST(EngineLivenessTest, MaxContentionCompletes) {
+  // 4 workers, one object, pure read-modify-writes: the worst case for
+  // the lock manager. Deadlock detection must keep the system live and
+  // the final counter must equal the number of commits.
+  txn::TransactionManager mgr;
+  constexpr int kWorkers = 4, kTxns = 30;
+  std::atomic<long> commits{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kTxns; ++i) {
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          auto t = mgr.Begin();
+          if (t->Apply(0, Update::Add(1)).ok() && t->Commit().ok()) {
+            commits.fetch_add(1);
+            break;
+          }
+          (void)t->Abort();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mgr.ReadCommitted(0), commits.load());
+  EXPECT_EQ(commits.load(), kWorkers * kTxns)
+      << "every increment eventually commits";
+}
+
+TEST(EngineVisibilityTest, GrandchildSeesAncestorChainValues) {
+  txn::TransactionManager mgr;
+  auto top = mgr.Begin();
+  ASSERT_TRUE(top->Put(0, 10).ok());
+  auto mid = top->BeginChild();
+  ASSERT_TRUE(mid.ok());
+  ASSERT_TRUE((*mid)->Put(1, 20).ok());
+  auto leaf = (*mid)->BeginChild();
+  ASSERT_TRUE(leaf.ok());
+  // Leaf sees the top's x0 and the mid's x1 through the version chain.
+  auto v0 = (*leaf)->Get(0);
+  auto v1 = (*leaf)->Get(1);
+  ASSERT_TRUE(v0.ok());
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v0, 10);
+  EXPECT_EQ(*v1, 20);
+  // Leaf overwrites x0; mid does not see it until the leaf commits.
+  ASSERT_TRUE((*leaf)->Put(0, 11).ok());
+  ASSERT_TRUE((*leaf)->Commit().ok());
+  auto mid_v0 = (*mid)->Get(0);
+  ASSERT_TRUE(mid_v0.ok());
+  EXPECT_EQ(*mid_v0, 11);
+  // But the top still sees its own version until mid commits.
+  // (Reading through `top` while mid holds the write lock is legal for
+  // the same transaction family only via the chain; the top's *own* read
+  // would have to wait for mid. We check post-commit instead.)
+  ASSERT_TRUE((*mid)->Commit().ok());
+  auto top_v0 = top->Get(0);
+  ASSERT_TRUE(top_v0.ok());
+  EXPECT_EQ(*top_v0, 11);
+  ASSERT_TRUE(top->Commit().ok());
+  EXPECT_EQ(mgr.ReadCommitted(0), 11);
+  EXPECT_EQ(mgr.ReadCommitted(1), 20);
+}
+
+TEST(EngineVisibilityTest, BeginChildAfterCommitFails) {
+  txn::TransactionManager mgr;
+  auto t = mgr.Begin();
+  ASSERT_TRUE(t->Commit().ok());
+  auto c = t->BeginChild();
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsAborted());
+}
+
+TEST(EngineVisibilityTest, SiblingsIsolatedUntilCommit) {
+  txn::TransactionManager mgr;
+  auto top = mgr.Begin();
+  auto c1 = top->BeginChild();
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE((*c1)->Put(0, 5).ok());
+  // Sibling c2 reading x0 must wait for c1 — run it in a thread and
+  // verify it observes the committed value, not the in-flight one.
+  std::atomic<Value> seen{-1};
+  std::thread reader([&] {
+    auto c2 = top->BeginChild();
+    if (!c2.ok()) return;
+    auto v = (*c2)->Get(0);
+    if (v.ok()) seen = *v;
+    (void)(*c2)->Commit();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(seen.load(), -1) << "reader must still be blocked";
+  ASSERT_TRUE((*c1)->Commit().ok());
+  reader.join();
+  EXPECT_EQ(seen.load(), 5) << "reader sees the committed sibling value";
+  ASSERT_TRUE(top->Commit().ok());
+}
+
+}  // namespace
+}  // namespace rnt

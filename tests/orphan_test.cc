@@ -1,0 +1,175 @@
+#include "orphan/orphan.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "valuemap/value_map_algebra.h"
+#include "versionmap/version_map_algebra.h"
+
+namespace rnt::orphan {
+namespace {
+
+using action::ActionRegistry;
+using action::ActionTree;
+using action::Update;
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::LockEvent;
+using algebra::Perform;
+using algebra::TreeEvent;
+
+class OrphanFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t1_ = reg_.NewAction(kRootAction);
+    s1_ = reg_.NewAction(t1_);
+    a1_ = reg_.NewAccess(s1_, 0, Update::Add(1));
+    t2_ = reg_.NewAction(kRootAction);
+    a2_ = reg_.NewAccess(t2_, 0, Update::Add(2));
+  }
+
+  ActionRegistry reg_;
+  ActionId t1_, s1_, a1_, t2_, a2_;
+};
+
+TEST_F(OrphanFixture, OrphanPredicates) {
+  ActionTree t(&reg_);
+  t.ApplyCreate(t1_);
+  t.ApplyCreate(s1_);
+  t.ApplyCreate(a1_);
+  EXPECT_TRUE(Orphans(t).empty());
+  t.ApplyAbort(t1_);
+  // s1 and a1 are orphans; t1 itself aborted but is not an orphan.
+  EXPECT_FALSE(IsOrphan(t, t1_));
+  EXPECT_TRUE(IsOrphan(t, s1_));
+  EXPECT_TRUE(IsOrphan(t, a1_));
+  std::vector<ActionId> orphans = Orphans(t);
+  ASSERT_EQ(orphans.size(), 2u);
+}
+
+TEST_F(OrphanFixture, PlainLevel2AllowsInconsistentOrphanViews) {
+  aat::AatAlgebra plain(&reg_);
+  auto s = plain.Initial();
+  for (TreeEvent e : std::vector<TreeEvent>{Create{t1_}, Create{s1_},
+                                            Create{a1_}, Abort{t1_}}) {
+    ASSERT_TRUE(plain.Defined(s, e));
+    plain.Apply(s, e);
+  }
+  // a1 is an orphan; the base model lets it see garbage...
+  TreeEvent garbage = Perform{a1_, 424242};
+  ASSERT_TRUE(plain.Defined(s, garbage));
+  plain.Apply(s, garbage);
+  // ...and the full-tree orphan-view check detects exactly that.
+  Status st = CheckOrphanViewConsistency(s);
+  EXPECT_FALSE(st.ok());
+  // The base correctness condition is still intact: perm(T) ignores the
+  // orphan entirely.
+  EXPECT_TRUE(aat::IsPermDataSerializable(s));
+}
+
+TEST_F(OrphanFixture, OrphanSafeAlgebraForbidsGarbageViews) {
+  OrphanSafeAatAlgebra safe(&reg_);
+  auto s = safe.Initial();
+  for (TreeEvent e : std::vector<TreeEvent>{Create{t1_}, Create{s1_},
+                                            Create{a1_}, Abort{t1_}}) {
+    ASSERT_TRUE(safe.Defined(s, e));
+    safe.Apply(s, e);
+  }
+  EXPECT_FALSE(safe.Defined(s, TreeEvent{Perform{a1_, 424242}}));
+  EXPECT_TRUE(safe.Defined(s, TreeEvent{Perform{a1_, 0}}))
+      << "the Moss value (init, nothing visible committed) is allowed";
+}
+
+TEST_F(OrphanFixture, OrphanSafeRunsAreOrphanConsistent) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    OrphanSafeAatAlgebra safe(&reg);
+    auto run = algebra::RandomRun(
+        safe, [](const aat::Aat& s) { return EventCandidates(s); }, rng, 80);
+    Status st = CheckOrphanViewConsistency(run.state);
+    EXPECT_TRUE(st.ok()) << st << " seed " << seed;
+    EXPECT_TRUE(aat::IsPermDataSerializable(run.state)) << "seed " << seed;
+  }
+}
+
+// The headline observation: Moss's locking (levels 3/4) enforces orphan
+// consistency *without being asked to* — precondition (d13) of the
+// version/value-map algebras hands every access the principal value,
+// live or orphaned. So every lower-level run satisfies the orphan-safe
+// spec, not just the plain one. (Goree's Argus algorithm addresses the
+// remaining gap — orphans whose *knowledge* is stale in a distributed
+// setting — which the lock-home discipline of ℬ covers for data access.)
+TEST(OrphanMossTest, VersionMapRunsAreOrphanConsistent) {
+  for (std::uint64_t seed = 100; seed < 125; ++seed) {
+    Rng rng(seed);
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    versionmap::VersionMapAlgebra alg(&reg);
+    auto run = algebra::RandomRun(
+        alg,
+        [](const versionmap::VmState& s) {
+          return versionmap::EventCandidates(s);
+        },
+        rng, 100);
+    Status st = CheckOrphanViewConsistency(run.state.tree);
+    EXPECT_TRUE(st.ok()) << st << " seed " << seed;
+  }
+}
+
+TEST(OrphanMossTest, ValueMapRunsRefineToOrphanSafeSpec) {
+  for (std::uint64_t seed = 200; seed < 220; ++seed) {
+    Rng rng(seed);
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    valuemap::ValueMapAlgebra lower(&reg);
+    OrphanSafeAatAlgebra upper(&reg);
+    auto run = algebra::RandomRun(
+        lower,
+        [](const valuemap::ValState& s) {
+          return valuemap::EventCandidates(s);
+        },
+        rng, 100);
+    Status st = algebra::CheckRefinement(
+        lower, upper, std::span<const LockEvent>(run.events),
+        algebra::LockToTreeEvent,
+        [](const valuemap::ValState& ls, const aat::Aat& us) -> Status {
+          return ls.tree == us ? Status::Ok()
+                               : Status::Internal("tree mismatch");
+        });
+    EXPECT_TRUE(st.ok())
+        << st << " seed " << seed
+        << " — Moss's algorithm should satisfy the orphan-safe spec";
+  }
+}
+
+TEST(OrphanMossTest, WaitingOrphanStillSeesConsistentValueInValueMap) {
+  // Deterministic scenario: the orphan performs *after* its ancestor
+  // aborted but before the lose-lock cleanup elsewhere. It must still
+  // read the principal value — never a torn or impossible one.
+  action::ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId a1 = reg.NewAccess(t1, 0, Update::Add(5));
+  ActionId t2 = reg.NewAction(kRootAction);
+  ActionId a2 = reg.NewAccess(t2, 0, Update::Add(7));
+  valuemap::ValueMapAlgebra alg(&reg);
+  auto s = alg.Initial();
+  for (LockEvent e : std::vector<LockEvent>{
+           Create{t1}, Create{a1}, Create{t2}, Create{a2}, Abort{t2}}) {
+    ASSERT_TRUE(alg.Defined(s, e));
+    alg.Apply(s, e);
+  }
+  // a2 is now an orphan. a1 has not run, so the principal value is init.
+  ASSERT_TRUE(alg.Defined(s, LockEvent{Perform{a2, 0}}));
+  EXPECT_FALSE(alg.Defined(s, LockEvent{Perform{a2, 99}}))
+      << "(d13) binds orphans at level 4";
+  alg.Apply(s, LockEvent{Perform{a2, 0}});
+  EXPECT_TRUE(CheckOrphanViewConsistency(s.tree).ok());
+  // The orphan's lock now blocks a1 until lose-lock discards it.
+  EXPECT_FALSE(alg.Defined(s, LockEvent{Perform{a1, 0}}));
+  ASSERT_TRUE(alg.Defined(s, LockEvent{algebra::LoseLock{a2, 0}}));
+  alg.Apply(s, LockEvent{algebra::LoseLock{a2, 0}});
+  EXPECT_TRUE(alg.Defined(s, LockEvent{Perform{a1, 0}}));
+}
+
+}  // namespace
+}  // namespace rnt::orphan

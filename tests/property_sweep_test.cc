@@ -1,0 +1,266 @@
+// Parameterized property sweeps: the paper's invariants checked across a
+// grid of universal-tree shapes, seeds, and engine configurations.
+// Complements the targeted unit tests with breadth.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <tuple>
+
+#include "aat/aat_algebra.h"
+#include "algebra/algebra.h"
+#include "dist/dist_algebra.h"
+#include "testutil.h"
+#include "txn/transaction_manager.h"
+#include "valuemap/value_map_algebra.h"
+#include "versionmap/version_map_algebra.h"
+#include "workload/workload.h"
+
+namespace rnt {
+namespace {
+
+// ---------------------------------------------------------------------
+// Sweep 1: algebra invariants across tree shapes.
+// Params: (top_level, max_children, max_depth, objects, seed)
+
+using ShapeParam = std::tuple<int, int, int, int, std::uint64_t>;
+
+class AlgebraShapeSweep : public ::testing::TestWithParam<ShapeParam> {
+ protected:
+  action::ActionRegistry MakeRegistry(Rng& rng) const {
+    auto [tops, kids, depth, objects, seed] = GetParam();
+    testutil::RandomRegistryParams p;
+    p.top_level = tops;
+    p.max_children = kids;
+    p.max_depth = depth;
+    p.objects = objects;
+    return testutil::MakeRandomRegistry(rng, p);
+  }
+  std::uint64_t seed() const { return std::get<4>(GetParam()); }
+};
+
+TEST_P(AlgebraShapeSweep, Theorem14AndLemma10) {
+  Rng rng(seed());
+  action::ActionRegistry reg = MakeRegistry(rng);
+  aat::AatAlgebra alg(&reg);
+  auto run = algebra::RandomRun(
+      alg, [](const aat::Aat& s) { return aat::EventCandidates(s); }, rng,
+      100);
+  EXPECT_TRUE(aat::IsPermDataSerializable(run.state));
+  Status l10 = aat::CheckLemma10(run.state);
+  EXPECT_TRUE(l10.ok()) << l10;
+}
+
+TEST_P(AlgebraShapeSweep, Level3InvariantsAtEveryPrefix) {
+  Rng rng(seed() + 1000);
+  action::ActionRegistry reg = MakeRegistry(rng);
+  versionmap::VersionMapAlgebra alg(&reg);
+  auto s = alg.Initial();
+  for (int step = 0; step < 80; ++step) {
+    std::vector<algebra::LockEvent> enabled;
+    for (auto& e : versionmap::EventCandidates(s)) {
+      if (alg.Defined(s, e)) enabled.push_back(e);
+    }
+    if (enabled.empty()) break;
+    alg.Apply(s, enabled[rng.Below(enabled.size())]);
+    Status wf = s.vmap.CheckWellFormed(reg);
+    ASSERT_TRUE(wf.ok()) << wf << " at step " << step;
+    Status l16 = versionmap::CheckLemma16(s);
+    ASSERT_TRUE(l16.ok()) << l16 << " at step " << step;
+  }
+}
+
+TEST_P(AlgebraShapeSweep, Level4RefinesToLevel3) {
+  Rng rng(seed() + 2000);
+  action::ActionRegistry reg = MakeRegistry(rng);
+  valuemap::ValueMapAlgebra lower(&reg);
+  versionmap::VersionMapAlgebra upper(&reg);
+  auto run = algebra::RandomRun(
+      lower,
+      [](const valuemap::ValState& s) { return valuemap::EventCandidates(s); },
+      rng, 100);
+  Status st = algebra::CheckRefinement(
+      lower, upper, std::span<const algebra::LockEvent>(run.events),
+      [](const algebra::LockEvent& e) {
+        return std::optional<algebra::LockEvent>(e);
+      },
+      [&](const valuemap::ValState& ls,
+          const versionmap::VmState& us) -> Status {
+        return valuemap::Eval(us.vmap, reg) == ls.vmap
+                   ? Status::Ok()
+                   : Status::Internal("eval(W) != V");
+      });
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+TEST_P(AlgebraShapeSweep, DistributedRefinesToLevel4) {
+  Rng rng(seed() + 3000);
+  action::ActionRegistry reg = MakeRegistry(rng);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra lower(&topo);
+  valuemap::ValueMapAlgebra upper(&reg);
+  dist::DistEventCandidates cand(&lower, seed() * 3 + 1);
+  auto run = algebra::RandomRun(lower, std::ref(cand), rng, 150);
+  Status st = algebra::CheckRefinement(
+      lower, upper, std::span<const dist::DistEvent>(run.events),
+      dist::DistToValueEvent,
+      [&](const dist::DistState& ls, const valuemap::ValState& us) {
+        return dist::CheckLocalConsistency(lower, ls, us);
+      });
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AlgebraShapeSweep,
+    ::testing::Values(
+        // wide and shallow
+        ShapeParam{5, 4, 2, 2, 1}, ShapeParam{5, 4, 2, 2, 2},
+        ShapeParam{6, 3, 2, 4, 3},
+        // narrow and deep
+        ShapeParam{1, 2, 5, 2, 4}, ShapeParam{2, 2, 4, 2, 5},
+        ShapeParam{2, 2, 5, 3, 6},
+        // single object (maximum conflict)
+        ShapeParam{3, 3, 3, 1, 7}, ShapeParam{4, 2, 3, 1, 8},
+        // many objects (minimum conflict)
+        ShapeParam{3, 3, 3, 8, 9}, ShapeParam{3, 3, 3, 8, 10},
+        // bushy
+        ShapeParam{4, 4, 3, 3, 11}, ShapeParam{4, 4, 4, 3, 12}),
+    [](const ::testing::TestParamInfo<ShapeParam>& info) {
+      // No structured bindings here: commas inside the binding list would
+      // confuse the INSTANTIATE macro's argument splitting.
+      return "t" + std::to_string(std::get<0>(info.param)) + "c" +
+             std::to_string(std::get<1>(info.param)) + "d" +
+             std::to_string(std::get<2>(info.param)) + "x" +
+             std::to_string(std::get<3>(info.param)) + "s" +
+             std::to_string(std::get<4>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 2: node counts for the distributed level.
+
+class NodeCountSweep : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(NodeCountSweep, LocalConsistencyAcrossClusterSizes) {
+  NodeId k = GetParam();
+  Rng rng(500 + k);
+  action::ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, k);
+  dist::DistAlgebra lower(&topo);
+  valuemap::ValueMapAlgebra upper(&reg);
+  dist::DistEventCandidates cand(&lower, 500 + k);
+  auto run = algebra::RandomRun(lower, std::ref(cand), rng, 150);
+  Status st = algebra::CheckRefinement(
+      lower, upper, std::span<const dist::DistEvent>(run.events),
+      dist::DistToValueEvent,
+      [&](const dist::DistState& ls, const valuemap::ValState& us) {
+        return dist::CheckLocalConsistency(lower, ls, us);
+      });
+  EXPECT_TRUE(st.ok()) << st;
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, NodeCountSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+// ---------------------------------------------------------------------
+// Sweep 3: engine configuration grid.
+// Params: (workers, read_fraction_pct, failure_pct, single_mode)
+
+using EngineParam = std::tuple<int, int, int, bool>;
+
+class EngineSweep : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(EngineSweep, TracesSerializableAndCountersConsistent) {
+  auto [workers, read_pct, fail_pct, single_mode] = GetParam();
+  txn::TransactionManager::Options opt;
+  opt.record_trace = true;
+  opt.single_mode_locks = single_mode;
+  txn::TransactionManager engine(opt);
+  workload::Params p;
+  p.num_objects = 6;
+  p.children_per_txn = 2;
+  p.accesses_per_child = 2;
+  p.read_fraction = read_pct / 100.0;
+  p.child_failure_prob = fail_pct / 100.0;
+  workload::Result r =
+      workload::RunMixed(engine, p, workers, /*txns_per_worker=*/12,
+                         /*seed=*/read_pct * 7 + fail_pct + workers);
+  EXPECT_EQ(r.committed + r.failed,
+            static_cast<std::uint64_t>(workers) * 12u);
+
+  auto replayed = txn::ReplayTrace(engine.TakeTrace());
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  if (single_mode) {
+    EXPECT_TRUE(aat::IsPermDataSerializable(replayed->tree));
+  } else {
+    EXPECT_TRUE(aat::IsPermDataSerializableRw(replayed->tree));
+  }
+  Status l10 = aat::CheckLemma10(replayed->tree);
+  EXPECT_TRUE(l10.ok()) << l10;
+
+  auto stats = engine.stats();
+  EXPECT_EQ(stats.begun, stats.committed + stats.aborted)
+      << "every transaction ends exactly once";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EngineSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),      // workers
+                       ::testing::Values(0, 50, 90),    // read fraction %
+                       ::testing::Values(0, 25),        // failure %
+                       ::testing::Bool()),              // single-mode
+    [](const ::testing::TestParamInfo<EngineParam>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "r" +
+             std::to_string(std::get<1>(info.param)) + "f" +
+             std::to_string(std::get<2>(info.param)) +
+             (std::get<3>(info.param) ? "single" : "rw");
+    });
+
+// ---------------------------------------------------------------------
+// Sweep 4: banking invariant across engines and failure rates.
+
+class BankingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BankingSweep, TotalAlwaysConserved) {
+  auto [workers, fail_pct] = GetParam();
+  txn::TransactionManager engine;
+  workload::BankingParams p;
+  p.num_accounts = 10;
+  p.child_failure_prob = fail_pct / 100.0;
+  ASSERT_TRUE(workload::SetupBanking(engine, p).ok());
+  workload::RunBanking(engine, p, workers, 15, workers * 100 + fail_pct);
+  EXPECT_TRUE(workload::VerifyBankingTotal(engine, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, BankingSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(0, 20, 45)));
+
+// ---------------------------------------------------------------------
+// Sweep 5: parallel-children mode preserves every guarantee.
+
+class ParallelChildrenSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelChildrenSweep, SerializableUnderIntraTxnParallelism) {
+  int children = GetParam();
+  txn::TransactionManager::Options opt;
+  opt.record_trace = true;
+  txn::TransactionManager engine(opt);
+  workload::Params p;
+  p.num_objects = 4;
+  p.children_per_txn = children;
+  p.accesses_per_child = 2;
+  p.read_fraction = 0.3;
+  p.parallel_children = true;
+  workload::Result r = workload::RunMixed(engine, p, 2, 8, 321 + children);
+  EXPECT_GT(r.committed, 0u);
+  auto replayed = txn::ReplayTrace(engine.TakeTrace());
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_TRUE(aat::IsPermDataSerializableRw(replayed->tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanout, ParallelChildrenSweep,
+                         ::testing::Values(2, 3, 5));
+
+}  // namespace
+}  // namespace rnt

@@ -1,0 +1,109 @@
+#include "txn/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/flat_engine.h"
+#include "txn/transaction_manager.h"
+
+namespace rnt::txn {
+namespace {
+
+TEST(RecoveryTest, RunTransactionCommitsOnSuccess) {
+  TransactionManager engine;
+  Status s = RunTransaction(engine, 3, [&](TxnHandle& t) {
+    return t.Put(0, 5);
+  });
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(engine.ReadCommitted(0), 5);
+}
+
+TEST(RecoveryTest, RunTransactionRollsBackOnBodyFailure) {
+  TransactionManager engine;
+  int calls = 0;
+  Status s = RunTransaction(engine, 3, [&](TxnHandle& t) {
+    ++calls;
+    RNT_RETURN_IF_ERROR(t.Put(0, 99));
+    return Status::Aborted("business rule failed");
+  });
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(calls, 3) << "retried up to max_attempts";
+  EXPECT_EQ(engine.ReadCommitted(0), 0) << "nothing leaked";
+}
+
+TEST(RecoveryTest, RunTransactionSucceedsAfterTransientFailures) {
+  TransactionManager engine;
+  int calls = 0;
+  Status s = RunTransaction(engine, 5, [&](TxnHandle& t) {
+    if (++calls < 3) return Status::Aborted("transient");
+    return t.Put(0, 7);
+  });
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(engine.ReadCommitted(0), 7);
+}
+
+TEST(RecoveryTest, RunInChildRetriesLocally) {
+  TransactionManager engine;
+  auto t = engine.Begin();
+  ASSERT_TRUE(t->Put(0, 1).ok());
+  int calls = 0;
+  Status s = RunInChild(*t, 4, [&](TxnHandle& step) {
+    if (++calls < 3) return Status::Aborted("flaky step");
+    return step.Put(1, 2);
+  });
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(calls, 3);
+  // The parent's earlier write survived the two failed step attempts.
+  auto v = t->Get(0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 1);
+  ASSERT_TRUE(t->Commit().ok());
+  EXPECT_EQ(engine.ReadCommitted(1), 2);
+}
+
+TEST(RecoveryTest, RunInChildGivesUpAfterMaxRetries) {
+  TransactionManager engine;
+  auto t = engine.Begin();
+  int calls = 0;
+  Status s = RunInChild(*t, 2, [&](TxnHandle&) {
+    ++calls;
+    return Status::Aborted("always fails");
+  });
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(calls, 3) << "initial attempt + 2 retries";
+  EXPECT_TRUE(t->Commit().ok()) << "parent is unharmed";
+}
+
+TEST(RecoveryTest, RunInChildBubblesUpDeadParent) {
+  TransactionManager engine;
+  auto t = engine.Begin();
+  ASSERT_TRUE(t->Abort().ok());
+  int calls = 0;
+  Status s = RunInChild(*t, 5, [&](TxnHandle&) {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(calls, 0) << "body never runs under a dead parent";
+}
+
+TEST(RecoveryTest, NestedCombinatorsComposeAcrossEngines) {
+  // The same combinator code runs against the flat baseline — but there,
+  // a child failure kills the whole transaction and RunInChild cannot
+  // save it; RunTransaction's outer retry is the only recovery.
+  baseline::FlatEngine engine;
+  int child_calls = 0, txn_calls = 0;
+  Status s = RunTransaction(engine, 4, [&](TxnHandle& t) {
+    ++txn_calls;
+    return RunInChild(t, 3, [&](TxnHandle& step) {
+      if (++child_calls < 3) return Status::Aborted("flaky");
+      return step.Put(0, 9);
+    });
+  });
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(engine.ReadCommitted(0), 9);
+  EXPECT_GE(txn_calls, 2) << "flat engine restarts the whole transaction";
+}
+
+}  // namespace
+}  // namespace rnt::txn

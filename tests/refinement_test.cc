@@ -1,0 +1,191 @@
+// Executable counterparts of the paper's four simulation results:
+//
+//   Lemma 15:   h   : 𝒜′ (AAT)         simulates 𝒜   (action trees + C)
+//   Lemma 17:   h′  : 𝒜″ (version map) simulates 𝒜′
+//   Lemma 20:   h″  : 𝒜‴ (value map)   simulates 𝒜″  (possibilities!)
+//   Lemma 28:   h‴  : ℬ  (distributed) simulates 𝒜‴  (local mappings)
+//   Theorem 29: h∘h′∘h″∘h‴ : ℬ simulates 𝒜.
+//
+// Strategy: generate random valid computations at each lower level, map
+// each event through the interpretation, replay the image at the upper
+// level, and require every image event to be defined (possibilities-
+// mapping property (b)) plus the state-correspondence invariants the
+// paper's proofs maintain (properties (a)/(c)/(d)).
+
+#include <gtest/gtest.h>
+
+#include "aat/aat_algebra.h"
+#include "algebra/algebra.h"
+#include "dist/dist_algebra.h"
+#include "spec/spec_algebra.h"
+#include "testutil.h"
+#include "valuemap/value_map_algebra.h"
+#include "versionmap/version_map_algebra.h"
+
+namespace rnt {
+namespace {
+
+using algebra::LockEvent;
+using algebra::TreeEvent;
+
+testutil::RandomRegistryParams SmallParams() {
+  testutil::RandomRegistryParams p;
+  p.top_level = 2;
+  p.max_children = 2;
+  p.max_depth = 3;
+  p.objects = 2;
+  return p;
+}
+
+// Lemma 15: every valid AAT computation is a valid computation of the
+// spec algebra — including its implicit serializability constraint C
+// (this is where Theorem 14 becomes load-bearing).
+TEST(RefinementTest, Lemma15AatSimulatesSpecWithOracle) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng, SmallParams());
+    aat::AatAlgebra lower(&reg);
+    spec::SpecAlgebra upper(&reg);  // oracle-enforcing
+    auto run = algebra::RandomRun(
+        lower, [](const aat::Aat& s) { return aat::EventCandidates(s); }, rng,
+        30);
+    Status st = algebra::CheckRefinement(
+        lower, upper, std::span<const TreeEvent>(run.events),
+        [](const TreeEvent& e) { return std::optional<TreeEvent>(e); },
+        [](const aat::Aat& ls, const action::ActionTree& us) -> Status {
+          // h maps (S, data) to {S}: the underlying trees must coincide.
+          if (!(ls == us)) return Status::Internal("h(T) mismatch");
+          return Status::Ok();
+        });
+    EXPECT_TRUE(st.ok()) << st << " seed " << seed;
+  }
+}
+
+// Lemma 17: version-map runs project (dropping lock events) to valid AAT
+// runs.
+TEST(RefinementTest, Lemma17VersionMapSimulatesAat) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    versionmap::VersionMapAlgebra lower(&reg);
+    aat::AatAlgebra upper(&reg);
+    auto run = algebra::RandomRun(
+        lower,
+        [](const versionmap::VmState& s) {
+          return versionmap::EventCandidates(s);
+        },
+        rng, 80);
+    Status st = algebra::CheckRefinement(
+        lower, upper, std::span<const LockEvent>(run.events),
+        algebra::LockToTreeEvent,
+        [](const versionmap::VmState& ls, const aat::Aat& us) -> Status {
+          if (!(ls.tree == us)) return Status::Internal("tree mismatch");
+          return Status::Ok();
+        });
+    EXPECT_TRUE(st.ok()) << st << " seed " << seed;
+  }
+}
+
+// Lemma 20: value-map runs are valid version-map runs, with the witness
+// version map W satisfying eval(W) = V throughout. (Checked again here at
+// chain level; value_map_test covers the per-step details.)
+TEST(RefinementTest, Lemma20ValueMapSimulatesVersionMap) {
+  for (std::uint64_t seed = 30; seed < 50; ++seed) {
+    Rng rng(seed);
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    valuemap::ValueMapAlgebra lower(&reg);
+    versionmap::VersionMapAlgebra upper(&reg);
+    auto run = algebra::RandomRun(
+        lower,
+        [](const valuemap::ValState& s) { return valuemap::EventCandidates(s); },
+        rng, 80);
+    Status st = algebra::CheckRefinement(
+        lower, upper, std::span<const LockEvent>(run.events),
+        [](const LockEvent& e) { return std::optional<LockEvent>(e); },
+        [&](const valuemap::ValState& ls,
+            const versionmap::VmState& us) -> Status {
+          if (!(ls.tree == us.tree)) return Status::Internal("tree mismatch");
+          if (!(valuemap::Eval(us.vmap, reg) == ls.vmap)) {
+            return Status::Internal("eval(W) != V");
+          }
+          return Status::Ok();
+        });
+    EXPECT_TRUE(st.ok()) << st << " seed " << seed;
+  }
+}
+
+// Lemma 28: distributed runs project to valid value-map runs, and every
+// reachable pair of states is i-consistent for all components (the local
+// mappings h_i).
+TEST(RefinementTest, Lemma28DistSimulatesValueMap) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+    dist::DistAlgebra lower(&topo);
+    valuemap::ValueMapAlgebra upper(&reg);
+    dist::DistEventCandidates cand(&lower, seed * 31 + 7);
+    auto run = algebra::RandomRun(lower, std::ref(cand), rng, 120);
+    Status st = algebra::CheckRefinement(
+        lower, upper, std::span<const dist::DistEvent>(run.events),
+        dist::DistToValueEvent,
+        [&](const dist::DistState& ls,
+            const valuemap::ValState& us) -> Status {
+          return dist::CheckLocalConsistency(lower, ls, us);
+        });
+    EXPECT_TRUE(st.ok()) << st << " seed " << seed;
+  }
+}
+
+// Theorem 29, end to end: a random distributed run, mapped down the whole
+// chain, is a valid computation of the top-level spec (with the
+// serializability constraint checked by the oracle), and the final
+// abstract action tree has perm(T) serializable.
+TEST(RefinementTest, Theorem29FullChain) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng, SmallParams());
+    dist::Topology topo = dist::Topology::RoundRobin(&reg, 2);
+    dist::DistAlgebra dist_alg(&topo);
+    dist::DistEventCandidates cand(&dist_alg, seed + 99);
+    auto dist_run = algebra::RandomRun(dist_alg, std::ref(cand), rng, 80);
+
+    // h‴ : ℬ -> 𝒜‴.
+    std::vector<LockEvent> lock_events =
+        algebra::MapSequence<LockEvent>(
+            std::span<const dist::DistEvent>(dist_run.events),
+            dist::DistToValueEvent);
+    valuemap::ValueMapAlgebra val_alg(&reg);
+    auto val_state =
+        algebra::Run(val_alg, std::span<const LockEvent>(lock_events));
+    ASSERT_TRUE(val_state.has_value()) << "seed " << seed;
+
+    // h″ : 𝒜‴ -> 𝒜″ (same event names).
+    versionmap::VersionMapAlgebra vm_alg(&reg);
+    auto vm_state =
+        algebra::Run(vm_alg, std::span<const LockEvent>(lock_events));
+    ASSERT_TRUE(vm_state.has_value()) << "seed " << seed;
+    EXPECT_TRUE(valuemap::Eval(vm_state->vmap, reg) == val_state->vmap);
+
+    // h′ : 𝒜″ -> 𝒜′ (drop lock events).
+    std::vector<TreeEvent> tree_events = algebra::MapSequence<TreeEvent>(
+        std::span<const LockEvent>(lock_events), algebra::LockToTreeEvent);
+    aat::AatAlgebra aat_alg(&reg);
+    auto aat_state =
+        algebra::Run(aat_alg, std::span<const TreeEvent>(tree_events));
+    ASSERT_TRUE(aat_state.has_value()) << "seed " << seed;
+
+    // h : 𝒜′ -> 𝒜 including constraint C.
+    spec::SpecAlgebra spec_alg(&reg);
+    auto spec_state =
+        algebra::Run(spec_alg, std::span<const TreeEvent>(tree_events));
+    ASSERT_TRUE(spec_state.has_value()) << "seed " << seed;
+
+    EXPECT_TRUE(*spec_state == *aat_state);
+    EXPECT_TRUE(aat::IsPermDataSerializable(*aat_state)) << "seed " << seed;
+    EXPECT_TRUE(action::IsPermSerializable(*spec_state)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rnt

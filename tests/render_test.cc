@@ -1,0 +1,90 @@
+#include "action/render.h"
+
+#include <gtest/gtest.h>
+
+namespace rnt::action {
+namespace {
+
+class RenderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t1_ = reg_.NewAction(kRootAction);
+    s1_ = reg_.NewAction(t1_);
+    a1_ = reg_.NewAccess(s1_, 3, Update::Add(7));
+    t2_ = reg_.NewAction(kRootAction);
+    a2_ = reg_.NewAccess(t2_, 3, Update::Read());
+    tree_ = std::make_unique<ActionTree>(&reg_);
+    tree_->ApplyCreate(t1_);
+    tree_->ApplyCreate(s1_);
+    tree_->ApplyCreate(a1_);
+    tree_->ApplyPerform(a1_, 0);
+    tree_->ApplyCommit(s1_);
+    tree_->ApplyCommit(t1_);
+    tree_->ApplyCreate(t2_);
+    tree_->ApplyCreate(a2_);
+    tree_->ApplyPerform(a2_, 7);
+  }
+
+  ActionRegistry reg_;
+  ActionId t1_, s1_, a1_, t2_, a2_;
+  std::unique_ptr<ActionTree> tree_;
+};
+
+TEST_F(RenderTest, DotContainsAllVertices) {
+  std::string dot = ToDot(*tree_);
+  EXPECT_NE(dot.find("digraph action_tree"), std::string::npos);
+  for (ActionId a : tree_->Vertices()) {
+    EXPECT_NE(dot.find("n" + std::to_string(a) + " ["), std::string::npos)
+        << "missing vertex " << a;
+  }
+}
+
+TEST_F(RenderTest, DotShowsTreeEdgesAndStatuses) {
+  std::string dot = ToDot(*tree_);
+  EXPECT_NE(dot.find("n0 -> n" + std::to_string(t1_)), std::string::npos);
+  EXPECT_NE(dot.find("n" + std::to_string(s1_) + " -> n" +
+                     std::to_string(a1_)),
+            std::string::npos);
+  EXPECT_NE(dot.find("palegreen"), std::string::npos) << "committed color";
+  EXPECT_NE(dot.find("fillcolor=white"), std::string::npos) << "active color";
+}
+
+TEST_F(RenderTest, DotShowsDataOrderEdges) {
+  std::string dot = ToDot(*tree_);
+  EXPECT_NE(dot.find("n" + std::to_string(a1_) + " -> n" +
+                     std::to_string(a2_) + " [style=dashed"),
+            std::string::npos);
+  DotOptions opt;
+  opt.show_data_order = false;
+  EXPECT_EQ(ToDot(*tree_, opt).find("style=dashed"), std::string::npos);
+}
+
+TEST_F(RenderTest, DotHighlightsOrphans) {
+  tree_->ApplyAbort(t2_);
+  // a2 is committed (performed) but dead via t2: in the universal tree it
+  // is not an orphan-highlight candidate because aborted subtree members
+  // that are themselves committed ARE highlighted (live == false and not
+  // aborted themselves).
+  std::string dot = ToDot(*tree_);
+  EXPECT_NE(dot.find("penwidth=2"), std::string::npos);
+  EXPECT_NE(dot.find("lightcoral"), std::string::npos) << "aborted color";
+}
+
+TEST_F(RenderTest, IndentedRenderingNestsProperly) {
+  std::string text = ToIndentedString(*tree_);
+  EXPECT_NE(text.find("U [active]"), std::string::npos);
+  // s1 at depth 2 (four spaces).
+  EXPECT_NE(text.find("\n    " + std::to_string(s1_) + " [committed]"),
+            std::string::npos);
+  // a1 at depth 3 with label.
+  EXPECT_NE(text.find("x3 add(7) saw=0"), std::string::npos);
+}
+
+TEST_F(RenderTest, IndentedRenderingMarksOrphans) {
+  tree_->ApplyAbort(t2_);
+  std::string text = ToIndentedString(*tree_);
+  EXPECT_NE(text.find("(orphan)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rnt::action

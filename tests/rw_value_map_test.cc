@@ -1,0 +1,113 @@
+#include "rwlock/rw_value_map.h"
+
+#include <gtest/gtest.h>
+
+namespace rnt::rwlock {
+namespace {
+
+using action::ActionRegistry;
+using action::Update;
+
+class RwValueMapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t_ = reg_.NewAction(kRootAction);
+    s_ = reg_.NewAction(t_);
+    u_ = reg_.NewAction(kRootAction);
+  }
+
+  ActionRegistry reg_;
+  ActionId t_, s_, u_;
+};
+
+TEST_F(RwValueMapTest, RootImplicitlyWriteDefined) {
+  RwValueMap vm;
+  EXPECT_TRUE(vm.IsWriteDefined(0, kRootAction));
+  EXPECT_EQ(vm.GetWrite(0, kRootAction), action::kInitValue);
+  EXPECT_EQ(vm.PrincipalWriter(0, reg_), kRootAction);
+  EXPECT_EQ(vm.PrincipalValue(0, reg_), action::kInitValue);
+}
+
+TEST_F(RwValueMapTest, WriteChainPrincipalIsDeepest) {
+  RwValueMap vm;
+  vm.SetWrite(0, t_, 5);
+  vm.SetWrite(0, s_, 9);
+  EXPECT_EQ(vm.PrincipalWriter(0, reg_), s_);
+  EXPECT_EQ(vm.PrincipalValue(0, reg_), 9);
+  vm.EraseWrite(0, s_);
+  EXPECT_EQ(vm.PrincipalWriter(0, reg_), t_);
+  EXPECT_EQ(vm.PrincipalValue(0, reg_), 5);
+}
+
+TEST_F(RwValueMapTest, ReadersAreSetSemantics) {
+  RwValueMap vm;
+  vm.AddReader(0, t_);
+  vm.AddReader(0, u_);
+  vm.AddReader(0, t_);  // duplicate
+  ASSERT_EQ(vm.ReadHolders(0).size(), 2u);
+  EXPECT_TRUE(vm.HoldsRead(0, t_));
+  EXPECT_TRUE(vm.HoldsRead(0, u_));
+  vm.EraseReader(0, t_);
+  EXPECT_FALSE(vm.HoldsRead(0, t_));
+  EXPECT_TRUE(vm.HoldsRead(0, u_));
+}
+
+TEST_F(RwValueMapTest, ReadersDoNotAffectPrincipalValue) {
+  RwValueMap vm;
+  vm.SetWrite(0, t_, 7);
+  vm.AddReader(0, u_);
+  EXPECT_EQ(vm.PrincipalValue(0, reg_), 7);
+  EXPECT_EQ(vm.PrincipalWriter(0, reg_), t_);
+}
+
+TEST_F(RwValueMapTest, EraseRootWriteIsNoop) {
+  RwValueMap vm;
+  vm.SetWrite(0, kRootAction, 3);
+  vm.EraseWrite(0, kRootAction);
+  EXPECT_EQ(vm.GetWrite(0, kRootAction), 3)
+      << "the root entry is never erased";
+}
+
+TEST_F(RwValueMapTest, TouchedObjectsTracksBothKinds) {
+  RwValueMap vm;
+  vm.SetWrite(0, t_, 1);
+  vm.AddReader(3, u_);
+  auto touched = vm.TouchedObjects();
+  ASSERT_EQ(touched.size(), 2u);
+  EXPECT_EQ(touched[0], 0u);
+  EXPECT_EQ(touched[1], 3u);
+  vm.EraseWrite(0, t_);
+  vm.EraseReader(3, u_);
+  EXPECT_TRUE(vm.TouchedObjects().empty()) << "empty entries pruned";
+}
+
+TEST_F(RwValueMapTest, WellFormedRejectsForkedWriteChain) {
+  RwValueMap vm;
+  vm.SetWrite(0, t_, 1);
+  vm.SetWrite(0, u_, 2);  // t and u are incomparable top-levels
+  EXPECT_FALSE(vm.CheckWellFormed(reg_).ok());
+  RwValueMap ok;
+  ok.SetWrite(0, t_, 1);
+  ok.SetWrite(0, s_, 2);  // chain t -> s
+  EXPECT_TRUE(ok.CheckWellFormed(reg_).ok());
+}
+
+TEST_F(RwValueMapTest, ForkedReadersAreWellFormed) {
+  RwValueMap vm;
+  vm.AddReader(0, t_);
+  vm.AddReader(0, u_);  // incomparable readers: the whole point
+  EXPECT_TRUE(vm.CheckWellFormed(reg_).ok());
+}
+
+TEST_F(RwValueMapTest, HoldsAnyCoversBothKinds) {
+  RwValueMap vm;
+  EXPECT_FALSE(vm.HoldsAny(0, t_));
+  vm.AddReader(0, t_);
+  EXPECT_TRUE(vm.HoldsAny(0, t_));
+  vm.EraseReader(0, t_);
+  vm.SetWrite(0, t_, 1);
+  EXPECT_TRUE(vm.HoldsAny(0, t_));
+}
+
+}  // namespace
+}  // namespace rnt::rwlock

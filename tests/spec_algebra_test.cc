@@ -1,0 +1,109 @@
+#include "spec/spec_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/algebra.h"
+#include "testutil.h"
+
+namespace rnt::spec {
+namespace {
+
+using action::ActionRegistry;
+using action::Update;
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::Perform;
+using algebra::TreeEvent;
+
+class SpecAlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t1_ = reg_.NewAction(kRootAction);
+    t2_ = reg_.NewAction(kRootAction);
+    a1_ = reg_.NewAccess(t1_, 0, Update::Add(1));
+    a2_ = reg_.NewAccess(t2_, 0, Update::Add(2));
+  }
+
+  ActionRegistry reg_;
+  ActionId t1_, t2_, a1_, a2_;
+};
+
+TEST_F(SpecAlgebraTest, AllowsAnyValuePreservingSerializability) {
+  SpecAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  for (TreeEvent e : std::vector<TreeEvent>{Create{t1_}, Create{t2_},
+                                            Create{a1_}, Create{a2_}}) {
+    ASSERT_TRUE(alg.Defined(s, e));
+    alg.Apply(s, e);
+  }
+  // Unlike level 2, the spec does not force a particular interleaving —
+  // any perform whose *result* keeps perm(T) serializable is allowed.
+  // Both concurrent performs seeing 0 are fine while the parents are
+  // active (the accesses are masked, perm is trivial).
+  ASSERT_TRUE(alg.Defined(s, TreeEvent{Perform{a1_, 0}}));
+  alg.Apply(s, TreeEvent{Perform{a1_, 0}});
+  ASSERT_TRUE(alg.Defined(s, TreeEvent{Perform{a2_, 0}}));
+  alg.Apply(s, TreeEvent{Perform{a2_, 0}});
+  // t1 can commit (perm gains a1 with label 0: serializable).
+  ASSERT_TRUE(alg.Defined(s, TreeEvent{Commit{t1_}}));
+  alg.Apply(s, TreeEvent{Commit{t1_}});
+  // But now committing t2 would expose the lost update: C forbids it.
+  EXPECT_FALSE(alg.Defined(s, TreeEvent{Commit{t2_}}));
+  // Aborting t2 is always allowed.
+  EXPECT_TRUE(alg.Defined(s, TreeEvent{Abort{t2_}}));
+}
+
+TEST_F(SpecAlgebraTest, PerformRejectedWhenNoFutureJustifiesIt) {
+  SpecAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  for (TreeEvent e : std::vector<TreeEvent>{Create{t1_}, Create{a1_},
+                                            Perform{a1_, 0}, Commit{t1_},
+                                            Create{t2_}, Create{a2_}}) {
+    ASSERT_TRUE(alg.Defined(s, e));
+    alg.Apply(s, e);
+  }
+  // a1 (add 1) is permanent; a2 would be a top-level-committed... not yet:
+  // t2 is active so perform with any value keeps perm serializable.
+  EXPECT_TRUE(alg.Defined(s, TreeEvent{Perform{a2_, 999}}));
+  // But performing the correct value also works.
+  EXPECT_TRUE(alg.Defined(s, TreeEvent{Perform{a2_, 1}}));
+  alg.Apply(s, TreeEvent{Perform{a2_, 1}});
+  EXPECT_TRUE(alg.Defined(s, TreeEvent{Commit{t2_}}));
+}
+
+TEST_F(SpecAlgebraTest, DisabledOracleSkipsCCheck) {
+  SpecAlgebra::Options opt;
+  opt.enforce_serializability = false;
+  SpecAlgebra alg(&reg_, opt);
+  auto s = alg.Initial();
+  for (TreeEvent e : std::vector<TreeEvent>{Create{t1_}, Create{t2_},
+                                            Create{a1_}, Create{a2_},
+                                            Perform{a1_, 0}, Perform{a2_, 0},
+                                            Commit{t1_}}) {
+    ASSERT_TRUE(alg.Defined(s, e));
+    alg.Apply(s, e);
+  }
+  // Raw tree algebra: the lost-update commit is structurally fine.
+  EXPECT_TRUE(alg.Defined(s, TreeEvent{Commit{t2_}}));
+}
+
+TEST(SpecAlgebraPropertyTest, RandomRunsKeepPermSerializable) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    Rng rng(seed);
+    testutil::RandomRegistryParams p;
+    p.top_level = 2;
+    p.max_children = 2;
+    p.max_depth = 3;
+    p.objects = 2;
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+    SpecAlgebra alg(&reg);
+    auto run = algebra::RandomRun(
+        alg, [](const action::ActionTree& s) { return EventCandidates(s); },
+        rng, 25);
+    EXPECT_TRUE(action::IsPermSerializable(run.state)) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rnt::spec

@@ -1,0 +1,105 @@
+#ifndef RNT_TESTS_TESTUTIL_H_
+#define RNT_TESTS_TESTUTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "action/action_tree.h"
+#include "action/registry.h"
+#include "common/random.h"
+
+namespace rnt::testutil {
+
+/// Parameters for random universal-action-tree generation.
+struct RandomRegistryParams {
+  int top_level = 3;       // top-level transactions under U
+  int max_children = 3;    // fanout bound per inner action
+  int max_depth = 3;       // depth bound below U (accesses at leaves)
+  int objects = 3;         // object universe size
+  double access_prob = 0.5;  // chance an inner slot is an access
+  double read_prob = 0.4;    // chance an access is a read
+};
+
+/// A random update function over a small object universe.
+inline action::Update RandomUpdate(Rng& rng, double read_prob) {
+  if (rng.Chance(read_prob)) return action::Update::Read();
+  switch (rng.Below(4)) {
+    case 0:
+      return action::Update::Write(rng.Range(-5, 5));
+    case 1:
+      return action::Update::Add(rng.Range(1, 4));
+    case 2:
+      return action::Update::XorConst(rng.Range(1, 7));
+    default:
+      return action::Update::MulAdd(rng.Range(2, 3), rng.Range(0, 3));
+  }
+}
+
+/// Builds a random a-priori action tree: `top_level` transactions under U,
+/// each expanding into subtransactions and accesses up to `max_depth`.
+inline action::ActionRegistry MakeRandomRegistry(
+    Rng& rng, const RandomRegistryParams& p = {}) {
+  action::ActionRegistry reg;
+  // Recursive expansion without recursion: worklist of (action, depth).
+  std::vector<std::pair<ActionId, int>> work;
+  for (int t = 0; t < p.top_level; ++t) {
+    work.emplace_back(reg.NewAction(kRootAction), 1);
+  }
+  while (!work.empty()) {
+    auto [a, depth] = work.back();
+    work.pop_back();
+    int kids = static_cast<int>(rng.Range(1, p.max_children));
+    for (int c = 0; c < kids; ++c) {
+      bool access = depth + 1 >= p.max_depth || rng.Chance(p.access_prob);
+      if (access) {
+        ObjectId x = static_cast<ObjectId>(rng.Below(p.objects));
+        reg.NewAccess(a, x, RandomUpdate(rng, p.read_prob));
+      } else {
+        work.emplace_back(reg.NewAction(a), depth + 1);
+      }
+    }
+  }
+  return reg;
+}
+
+/// Drives a bare ActionTree with uniformly random *enabled* level-1 events
+/// (create/commit/abort/perform), choosing arbitrary small values for
+/// perform. Produces structurally varied trees for property tests that do
+/// not care about label correctness (visibility, liveness, perm shape).
+inline action::ActionTree RandomTreeState(const action::ActionRegistry& reg,
+                                          Rng& rng, int steps) {
+  action::ActionTree t(&reg);
+  struct Op {
+    int kind;
+    ActionId a;
+  };
+  for (int i = 0; i < steps; ++i) {
+    std::vector<Op> ops;
+    for (ActionId a = 1; a < reg.size(); ++a) {
+      if (t.CanCreate(a)) ops.push_back({0, a});
+      if (t.CanCommit(a)) ops.push_back({1, a});
+      if (t.CanAbort(a)) ops.push_back({2, a});
+      if (t.CanPerform(a)) ops.push_back({3, a});
+    }
+    if (ops.empty()) break;
+    Op op = ops[rng.Below(ops.size())];
+    switch (op.kind) {
+      case 0:
+        t.ApplyCreate(op.a);
+        break;
+      case 1:
+        t.ApplyCommit(op.a);
+        break;
+      case 2:
+        t.ApplyAbort(op.a);
+        break;
+      default:
+        t.ApplyPerform(op.a, rng.Range(-3, 3));
+    }
+  }
+  return t;
+}
+
+}  // namespace rnt::testutil
+
+#endif  // RNT_TESTS_TESTUTIL_H_

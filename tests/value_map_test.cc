@@ -1,0 +1,167 @@
+#include "valuemap/value_map.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/algebra.h"
+#include "testutil.h"
+#include "valuemap/value_map_algebra.h"
+#include "versionmap/version_map_algebra.h"
+
+namespace rnt::valuemap {
+namespace {
+
+using action::ActionRegistry;
+using action::Update;
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::LockEvent;
+using algebra::LoseLock;
+using algebra::Perform;
+using algebra::ReleaseLock;
+
+TEST(ValueMapTest, ImplicitRootHoldsInit) {
+  ValueMap vm;
+  ActionRegistry reg;
+  EXPECT_TRUE(vm.IsDefined(3, kRootAction));
+  EXPECT_EQ(vm.Get(3, kRootAction), action::kInitValue);
+  EXPECT_EQ(vm.PrincipalValue(3, reg), action::kInitValue);
+}
+
+TEST(ValueMapTest, SetGetEraseAndPrincipal) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId s = reg.NewAction(t);
+  ValueMap vm;
+  vm.Set(0, t, 5);
+  vm.Set(0, s, 9);
+  EXPECT_EQ(vm.PrincipalAction(0, reg), s);
+  EXPECT_EQ(vm.PrincipalValue(0, reg), 9);
+  vm.Erase(0, s);
+  EXPECT_EQ(vm.PrincipalAction(0, reg), t);
+  EXPECT_EQ(vm.PrincipalValue(0, reg), 5);
+}
+
+TEST(ValueMapTest, EqualityIgnoresTrivialRootEntries) {
+  ValueMap a, b;
+  EXPECT_TRUE(a == b);
+  a.Set(0, kRootAction, action::kInitValue);
+  EXPECT_TRUE(a == b) << "explicit init at root is canonical-trivial";
+  a.Set(0, kRootAction, 7);
+  EXPECT_FALSE(a == b);
+  b.Set(0, kRootAction, 7);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ValueMapTest, WellFormedRejectsForkedHolders) {
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId t2 = reg.NewAction(kRootAction);
+  ValueMap vm;
+  vm.Set(0, t1, 1);
+  vm.Set(0, t2, 2);
+  EXPECT_FALSE(vm.CheckWellFormed(reg).ok());
+}
+
+TEST(EvalTest, EvalCollapsesSequencesToValues) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId a = reg.NewAccess(t, 0, Update::Add(1));
+  ActionId b = reg.NewAccess(t, 0, Update::MulAdd(2, 3));
+  versionmap::VersionMap w;
+  w.Set(0, t, {a, b});
+  ValueMap v = Eval(w, reg);
+  EXPECT_EQ(v.Get(0, t), 2 * (0 + 1) + 3);
+}
+
+class ValueMapAlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t1_ = reg_.NewAction(kRootAction);
+    t2_ = reg_.NewAction(kRootAction);
+    a1_ = reg_.NewAccess(t1_, 0, Update::Add(1));
+    a2_ = reg_.NewAccess(t2_, 0, Update::Add(2));
+  }
+
+  void Step(ValState& s, const ValueMapAlgebra& alg, LockEvent e) {
+    ASSERT_TRUE(alg.Defined(s, e)) << algebra::ToString(e);
+    alg.Apply(s, e);
+  }
+
+  ActionRegistry reg_;
+  ActionId t1_, t2_, a1_, a2_;
+};
+
+TEST_F(ValueMapAlgebraTest, PerformStoresUpdatedValue) {
+  ValueMapAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  Step(s, alg, Create{t1_});
+  Step(s, alg, Create{a1_});
+  Step(s, alg, Perform{a1_, 0});
+  EXPECT_EQ(s.vmap.Get(0, a1_), 1) << "value map holds update(A)(u)";
+  EXPECT_EQ(s.tree.LabelOf(a1_), 0) << "label holds the value *seen*";
+}
+
+TEST_F(ValueMapAlgebraTest, MossLockDisciplineEndToEnd) {
+  ValueMapAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  Step(s, alg, Create{t1_});
+  Step(s, alg, Create{t2_});
+  Step(s, alg, Create{a1_});
+  Step(s, alg, Create{a2_});
+  Step(s, alg, Perform{a1_, 0});
+  EXPECT_FALSE(alg.Defined(s, LockEvent{Perform{a2_, 0}})) << "lock held";
+  Step(s, alg, ReleaseLock{a1_, 0});
+  Step(s, alg, Commit{t1_});
+  Step(s, alg, ReleaseLock{t1_, 0});
+  Step(s, alg, Perform{a2_, 1});
+  Step(s, alg, ReleaseLock{a2_, 0});
+  Step(s, alg, Commit{t2_});
+  Step(s, alg, ReleaseLock{t2_, 0});
+  EXPECT_EQ(s.vmap.Get(0, kRootAction), 3) << "0 +1 +2 committed to top";
+  EXPECT_TRUE(aat::IsPermDataSerializable(s.tree));
+}
+
+TEST_F(ValueMapAlgebraTest, AbortDiscardsValue) {
+  ValueMapAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  Step(s, alg, Create{t1_});
+  Step(s, alg, Create{a1_});
+  Step(s, alg, Perform{a1_, 0});
+  Step(s, alg, ReleaseLock{a1_, 0});
+  Step(s, alg, Abort{t1_});
+  Step(s, alg, LoseLock{t1_, 0});
+  EXPECT_EQ(s.vmap.PrincipalValue(0, reg_), action::kInitValue);
+}
+
+// ---------------------------------------------------------------------
+// The h″ possibilities-mapping obligation, executable: replaying the same
+// event sequence at level 3 yields a witness W with eval(W) = V at every
+// step (paper Lemma 20).
+
+TEST(ValueMapRefinementTest, EvalWitnessTracksValueMapOnRandomRuns) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    ValueMapAlgebra lower(&reg);
+    versionmap::VersionMapAlgebra upper(&reg);
+    auto run = algebra::RandomRun(
+        lower, [](const ValState& s) { return EventCandidates(s); }, rng, 70);
+    Status st = algebra::CheckRefinement(
+        lower, upper, std::span<const LockEvent>(run.events),
+        [](const LockEvent& e) { return std::optional<LockEvent>(e); },
+        [&](const ValState& ls, const versionmap::VmState& us) -> Status {
+          if (!(ls.tree == us.tree)) {
+            return Status::Internal("trees diverged");
+          }
+          if (!(Eval(us.vmap, reg) == ls.vmap)) {
+            return Status::Internal("eval(W) != V");
+          }
+          return Status::Ok();
+        });
+    EXPECT_TRUE(st.ok()) << st << " seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rnt::valuemap

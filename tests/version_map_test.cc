@@ -1,0 +1,230 @@
+#include "versionmap/version_map.h"
+
+#include <gtest/gtest.h>
+
+#include "versionmap/version_map_algebra.h"
+#include "algebra/algebra.h"
+#include "testutil.h"
+
+namespace rnt::versionmap {
+namespace {
+
+using action::ActionRegistry;
+using action::Update;
+using algebra::Abort;
+using algebra::Commit;
+using algebra::Create;
+using algebra::LockEvent;
+using algebra::LoseLock;
+using algebra::Perform;
+using algebra::ReleaseLock;
+
+TEST(VersionMapTest, RootImplicitlyDefinedEverywhere) {
+  VersionMap vm;
+  ActionRegistry reg;
+  EXPECT_TRUE(vm.IsDefined(0, kRootAction));
+  EXPECT_TRUE(vm.IsDefined(42, kRootAction));
+  EXPECT_TRUE(vm.Get(5, kRootAction).empty());
+  EXPECT_EQ(vm.PrincipalAction(9, reg), kRootAction);
+  EXPECT_EQ(vm.PrincipalValue(9, reg), action::kInitValue);
+}
+
+TEST(VersionMapTest, SetGetErase) {
+  VersionMap vm;
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId a = reg.NewAccess(t, 0, Update::Add(1));
+  vm.Set(0, t, {a});
+  EXPECT_TRUE(vm.IsDefined(0, t));
+  EXPECT_EQ(vm.Get(0, t), std::vector<ActionId>{a});
+  EXPECT_FALSE(vm.IsDefined(1, t));
+  vm.Erase(0, t);
+  EXPECT_FALSE(vm.IsDefined(0, t));
+}
+
+TEST(VersionMapTest, PrincipalIsDeepestHolder) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId s = reg.NewAction(t);
+  ActionId a = reg.NewAccess(s, 0, Update::Add(5));
+  VersionMap vm;
+  vm.Set(0, t, {});
+  vm.Set(0, s, {a});
+  EXPECT_EQ(vm.PrincipalAction(0, reg), s);
+  EXPECT_EQ(vm.PrincipalValue(0, reg), 5);
+}
+
+TEST(VersionMapTest, WellFormedAcceptsChain) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId s = reg.NewAction(t);
+  ActionId a = reg.NewAccess(s, 0, Update::Add(1));
+  ActionId b = reg.NewAccess(s, 0, Update::Add(2));
+  VersionMap vm;
+  vm.Set(0, t, {a});
+  vm.Set(0, s, {a, b});
+  EXPECT_TRUE(vm.CheckWellFormed(reg).ok());
+}
+
+TEST(VersionMapTest, WellFormedRejectsNonChainHolders) {
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId t2 = reg.NewAction(kRootAction);
+  ActionId a = reg.NewAccess(t1, 0, Update::Add(1));
+  VersionMap vm;
+  vm.Set(0, t1, {a});
+  vm.Set(0, t2, {});
+  EXPECT_FALSE(vm.CheckWellFormed(reg).ok());
+}
+
+TEST(VersionMapTest, WellFormedRejectsNonExtension) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId s = reg.NewAction(t);
+  ActionId a = reg.NewAccess(s, 0, Update::Add(1));
+  ActionId b = reg.NewAccess(s, 0, Update::Add(2));
+  VersionMap vm;
+  vm.Set(0, t, {a});
+  vm.Set(0, s, {b});  // does not extend ⟨a⟩
+  EXPECT_FALSE(vm.CheckWellFormed(reg).ok());
+}
+
+TEST(VersionMapTest, WellFormedRejectsForeignAccess) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId a = reg.NewAccess(t, 1, Update::Add(1));  // access to x1
+  VersionMap vm;
+  vm.Set(0, t, {a});  // ...stored under x0
+  EXPECT_FALSE(vm.CheckWellFormed(reg).ok());
+}
+
+// ---------------------------------------------------------------------
+// Level-3 algebra behaviour.
+
+class VersionMapAlgebraTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    t1_ = reg_.NewAction(kRootAction);
+    t2_ = reg_.NewAction(kRootAction);
+    a1_ = reg_.NewAccess(t1_, 0, Update::Add(1));
+    a2_ = reg_.NewAccess(t2_, 0, Update::Add(2));
+  }
+
+  void Step(VmState& s, const VersionMapAlgebra& alg, LockEvent e) {
+    ASSERT_TRUE(alg.Defined(s, e)) << algebra::ToString(e);
+    alg.Apply(s, e);
+  }
+
+  ActionRegistry reg_;
+  ActionId t1_, t2_, a1_, a2_;
+};
+
+TEST_F(VersionMapAlgebraTest, PerformGrantsLockAndBlocksOthers) {
+  VersionMapAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  Step(s, alg, Create{t1_});
+  Step(s, alg, Create{t2_});
+  Step(s, alg, Create{a1_});
+  Step(s, alg, Create{a2_});
+  Step(s, alg, Perform{a1_, 0});
+  EXPECT_TRUE(s.vmap.IsDefined(0, a1_));
+  EXPECT_EQ(s.vmap.PrincipalAction(0, reg_), a1_);
+  // a2 blocked: a1 holds the lock and is not an ancestor of a2 (d12).
+  EXPECT_FALSE(alg.Defined(s, LockEvent{Perform{a2_, 0}}));
+  EXPECT_FALSE(alg.Defined(s, LockEvent{Perform{a2_, 1}}));
+}
+
+TEST_F(VersionMapAlgebraTest, ReleaseChainUnblocksSibling) {
+  VersionMapAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  Step(s, alg, Create{t1_});
+  Step(s, alg, Create{t2_});
+  Step(s, alg, Create{a1_});
+  Step(s, alg, Create{a2_});
+  Step(s, alg, Perform{a1_, 0});
+  // Commit the access's lock up the chain: a1 -> t1 -> U.
+  Step(s, alg, ReleaseLock{a1_, 0});
+  EXPECT_FALSE(s.vmap.IsDefined(0, a1_));
+  EXPECT_TRUE(s.vmap.IsDefined(0, t1_));
+  // Still blocked: t1 is not an ancestor of a2.
+  EXPECT_FALSE(alg.Defined(s, LockEvent{Perform{a2_, 1}}));
+  Step(s, alg, Commit{t1_});
+  Step(s, alg, ReleaseLock{t1_, 0});
+  EXPECT_TRUE(s.vmap.IsDefined(0, kRootAction));
+  // Now the only holder is U (ancestor of everything): a2 may run, and
+  // must see result(x, ⟨a1⟩) = 1.
+  EXPECT_FALSE(alg.Defined(s, LockEvent{Perform{a2_, 0}}));
+  Step(s, alg, Perform{a2_, 1});
+  EXPECT_EQ(s.vmap.Get(0, a2_), (std::vector<ActionId>{a1_, a2_}));
+}
+
+TEST_F(VersionMapAlgebraTest, ReleaseRequiresCommit) {
+  VersionMapAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  Step(s, alg, Create{t1_});
+  Step(s, alg, Create{a1_});
+  Step(s, alg, Perform{a1_, 0});
+  // a1 is committed by perform, so release is allowed; t1 has no lock yet.
+  EXPECT_TRUE(alg.Defined(s, LockEvent{ReleaseLock{a1_, 0}}));
+  EXPECT_FALSE(alg.Defined(s, LockEvent{ReleaseLock{t1_, 0}}));
+  Step(s, alg, ReleaseLock{a1_, 0});
+  // t1 now holds but is active: cannot release; cannot lose (live).
+  EXPECT_FALSE(alg.Defined(s, LockEvent{ReleaseLock{t1_, 0}}));
+  EXPECT_FALSE(alg.Defined(s, LockEvent{LoseLock{t1_, 0}}));
+}
+
+TEST_F(VersionMapAlgebraTest, LoseLockRequiresDeath) {
+  VersionMapAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  Step(s, alg, Create{t1_});
+  Step(s, alg, Create{a1_});
+  Step(s, alg, Perform{a1_, 0});
+  Step(s, alg, ReleaseLock{a1_, 0});
+  Step(s, alg, Abort{t1_});
+  EXPECT_TRUE(alg.Defined(s, LockEvent{LoseLock{t1_, 0}}));
+  Step(s, alg, LoseLock{t1_, 0});
+  EXPECT_FALSE(s.vmap.IsDefined(0, t1_));
+  EXPECT_EQ(s.vmap.PrincipalValue(0, reg_), action::kInitValue)
+      << "aborted work is discarded";
+}
+
+TEST_F(VersionMapAlgebraTest, OrphanLockDiscardLetsSiblingProceedFresh) {
+  VersionMapAlgebra alg(&reg_);
+  auto s = alg.Initial();
+  Step(s, alg, Create{t1_});
+  Step(s, alg, Create{t2_});
+  Step(s, alg, Create{a1_});
+  Step(s, alg, Create{a2_});
+  Step(s, alg, Perform{a1_, 0});
+  Step(s, alg, Abort{t1_});
+  // a1 still holds the lock (its ancestor aborted): a2 blocked until
+  // lose-lock runs.
+  EXPECT_FALSE(alg.Defined(s, LockEvent{Perform{a2_, 0}}));
+  Step(s, alg, LoseLock{a1_, 0});
+  Step(s, alg, Perform{a2_, 0});
+  EXPECT_EQ(s.tree.LabelOf(a2_), 0) << "sees init, not the aborted add(1)";
+}
+
+TEST(VersionMapAlgebraPropertyTest, Lemma16AndWellFormedOnRandomRuns) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    action::ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+    VersionMapAlgebra alg(&reg);
+    auto s = alg.Initial();
+    for (int step = 0; step < 80; ++step) {
+      std::vector<LockEvent> enabled;
+      for (auto& e : EventCandidates(s)) {
+        if (alg.Defined(s, e)) enabled.push_back(e);
+      }
+      if (enabled.empty()) break;
+      alg.Apply(s, enabled[rng.Below(enabled.size())]);
+      Status wf = s.vmap.CheckWellFormed(reg);
+      ASSERT_TRUE(wf.ok()) << wf << " seed " << seed << " step " << step;
+      Status l16 = CheckLemma16(s);
+      ASSERT_TRUE(l16.ok()) << l16 << " seed " << seed << " step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rnt::versionmap

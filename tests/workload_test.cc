@@ -1,0 +1,127 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "aat/aat.h"
+
+#include "baseline/flat_engine.h"
+#include "baseline/mvto_engine.h"
+#include "txn/transaction_manager.h"
+
+namespace rnt::workload {
+namespace {
+
+TEST(WorkloadTest, MixedRunsToCompletionOnNestedEngine) {
+  txn::TransactionManager eng;
+  Params p;
+  p.num_objects = 16;
+  Result r = RunMixed(eng, p, /*workers=*/3, /*txns_per_worker=*/15, 42);
+  EXPECT_EQ(r.committed + r.failed, 45u);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.accesses, 0u);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+}
+
+TEST(WorkloadTest, MixedRunsOnFlatEngine) {
+  baseline::FlatEngine eng;
+  Params p;
+  p.num_objects = 16;
+  Result r = RunMixed(eng, p, 3, 15, 42);
+  EXPECT_EQ(r.committed + r.failed, 45u);
+  EXPECT_GT(r.committed, 0u);
+}
+
+TEST(WorkloadTest, MixedRunsOnMvtoEngine) {
+  baseline::MvtoEngine eng;
+  Params p;
+  p.num_objects = 16;
+  Result r = RunMixed(eng, p, 3, 15, 42);
+  EXPECT_EQ(r.committed + r.failed, 45u);
+  EXPECT_GT(r.committed, 0u);
+}
+
+TEST(WorkloadTest, FailureInjectionTriggersChildRetries) {
+  txn::TransactionManager eng;
+  Params p;
+  p.num_objects = 32;
+  p.child_failure_prob = 0.3;
+  Result r = RunMixed(eng, p, 2, 20, 7);
+  EXPECT_GT(r.child_retries, 0u) << "nested engine retries children";
+  EXPECT_GT(r.committed, 0u);
+  // Retried children mean more child attempts than the minimum.
+  EXPECT_GT(r.child_attempts, r.committed * 3);
+}
+
+TEST(WorkloadTest, NestedRetriesLocallyFlatRestartsGlobally) {
+  // Same failure rate: the nested engine absorbs failures with child
+  // retries; the flat engine must restart whole transactions, so its
+  // top-level attempt count is strictly larger.
+  Params p;
+  p.num_objects = 64;
+  p.children_per_txn = 4;
+  p.child_failure_prob = 0.25;
+  txn::TransactionManager nested;
+  Result rn = RunMixed(nested, p, 2, 25, 99);
+  baseline::FlatEngine flat;
+  Result rf = RunMixed(flat, p, 2, 25, 99);
+  EXPECT_GT(rn.child_retries, 0u);
+  EXPECT_GT(rf.txn_attempts, rn.txn_attempts)
+      << "flat engine restarts from the top on every child failure";
+}
+
+TEST(BankingTest, TotalConservedOnNestedEngine) {
+  txn::TransactionManager eng;
+  BankingParams p;
+  p.num_accounts = 8;
+  ASSERT_TRUE(SetupBanking(eng, p).ok());
+  ASSERT_TRUE(VerifyBankingTotal(eng, p));
+  BankingResult r = RunBanking(eng, p, 3, 20, 5);
+  EXPECT_GT(r.transfers_committed, 0u);
+  EXPECT_TRUE(VerifyBankingTotal(eng, p))
+      << "atomicity: partial transfers must never commit";
+}
+
+TEST(BankingTest, TotalConservedUnderInjectedFailures) {
+  txn::TransactionManager eng;
+  BankingParams p;
+  p.num_accounts = 8;
+  p.child_failure_prob = 0.3;
+  ASSERT_TRUE(SetupBanking(eng, p).ok());
+  BankingResult r = RunBanking(eng, p, 3, 20, 11);
+  EXPECT_GT(r.child_retries, 0u);
+  EXPECT_TRUE(VerifyBankingTotal(eng, p));
+}
+
+TEST(BankingTest, TotalConservedOnFlatAndMvto) {
+  BankingParams p;
+  p.num_accounts = 8;
+  p.child_failure_prob = 0.2;
+  {
+    baseline::FlatEngine eng;
+    ASSERT_TRUE(SetupBanking(eng, p).ok());
+    RunBanking(eng, p, 2, 15, 3);
+    EXPECT_TRUE(VerifyBankingTotal(eng, p));
+  }
+  {
+    baseline::MvtoEngine eng;
+    ASSERT_TRUE(SetupBanking(eng, p).ok());
+    RunBanking(eng, p, 2, 15, 3);
+    EXPECT_TRUE(VerifyBankingTotal(eng, p));
+  }
+}
+
+TEST(WorkloadTest, TracedMixedWorkloadIsSerializable) {
+  txn::TransactionManager::Options opt;
+  opt.record_trace = true;
+  txn::TransactionManager eng(opt);
+  Params p;
+  p.num_objects = 8;
+  p.child_failure_prob = 0.15;
+  RunMixed(eng, p, 3, 10, 13);
+  auto replayed = txn::ReplayTrace(eng.TakeTrace());
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_TRUE(aat::IsPermDataSerializableRw(replayed->tree));
+}
+
+}  // namespace
+}  // namespace rnt::workload
