@@ -1,0 +1,147 @@
+// Experiment E10 (EXPERIMENTS.md): resilience of the distributed algebra
+// under injected faults. Sweeps the message-fault rate over
+// {0, 0.1, 0.3, 0.5} (drop probability; duplication and delay at half
+// that), with two node crashes and a temporary partition at every
+// non-zero rate, and reports the throughput-shaped consequences: how many
+// top-level transactions still commit, and what each commit costs in
+// messages once re-requests and retries are paid for.
+//
+// Emits a single JSON document on stdout so the trajectory can be
+// plotted directly:
+//   {"bench":"faults","nodes":3,"seeds":5,"trajectory":[{...},...]}
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "faults/faults.h"
+#include "sim/chaos_driver.h"
+
+namespace {
+
+using rnt::ActionId;
+using rnt::NodeId;
+using rnt::ObjectId;
+
+constexpr int kTops = 10;
+constexpr int kObjects = 6;
+constexpr NodeId kNodes = 3;
+constexpr int kSeeds = 5;
+
+void BuildProgram(rnt::action::ActionRegistry& reg, std::uint64_t seed) {
+  rnt::Rng rng(seed);
+  for (int t = 0; t < kTops; ++t) {
+    ActionId top = reg.NewAction(rnt::kRootAction);
+    for (int c = 0; c < 2; ++c) {
+      ActionId sub = reg.NewAction(top);
+      reg.NewAccess(sub, static_cast<ObjectId>(rng.Below(kObjects)),
+                    rnt::action::Update::Add(1));
+      reg.NewAccess(sub, static_cast<ObjectId>(rng.Below(kObjects)),
+                    rnt::action::Update::Read());
+    }
+  }
+}
+
+rnt::faults::FaultPlan PlanAtRate(double rate, std::uint64_t seed) {
+  rnt::faults::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = rate;
+  plan.dup_prob = rate / 2;
+  plan.delay_prob = rate / 2;
+  plan.max_delay_rounds = 3;
+  if (rate > 0) {
+    plan.crashes.push_back(rnt::faults::CrashSpec{0, 15, 5});
+    plan.crashes.push_back(rnt::faults::CrashSpec{1, 40, 5});
+    plan.partitions.push_back(rnt::faults::PartitionSpec{0, 2, 20, 35});
+  }
+  return plan;
+}
+
+struct RatePoint {
+  double rate = 0;
+  double commit_rate = 0;       // committed top-levels / top-levels
+  double messages_per_commit = 0;
+  double avg_rounds = 0;
+  double complete_fraction = 0;  // runs that finished without abandonment
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t timeout_aborts = 0;
+  std::uint64_t crashes = 0;
+};
+
+}  // namespace
+
+int main() {
+  const double kRates[] = {0.0, 0.1, 0.3, 0.5};
+  std::printf("{\"bench\":\"faults\",\"nodes\":%u,\"tops\":%d,\"seeds\":%d,",
+              kNodes, kTops, kSeeds);
+  std::printf("\"trajectory\":[");
+  bool first_rate = true;
+  for (double rate : kRates) {
+    RatePoint pt;
+    pt.rate = rate;
+    std::uint64_t total_commits = 0;
+    std::uint64_t top_commits = 0;
+    std::uint64_t total_msgs = 0;
+    int complete_runs = 0;
+    long total_rounds = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+      rnt::action::ActionRegistry reg;
+      BuildProgram(reg, /*seed=*/100 + s);
+      rnt::dist::Topology topo =
+          rnt::dist::Topology::RoundRobin(&reg, kNodes);
+      rnt::dist::DistAlgebra alg(&topo);
+      rnt::sim::ChaosOptions opt;
+      opt.plan = PlanAtRate(rate, /*seed=*/1000 * s + 7);
+      auto run = rnt::sim::ChaosRunProgram(alg, opt);
+      if (!run.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      total_commits += run->stats.commits;
+      total_msgs += run->stats.messages;
+      total_rounds += run->stats.rounds;
+      if (run->complete) ++complete_runs;
+      for (ActionId a = 1; a < reg.size(); ++a) {
+        if (reg.Parent(a) == rnt::kRootAction &&
+            run->abstract.tree.IsCommitted(a)) {
+          ++top_commits;
+        }
+      }
+      pt.dropped += run->stats.dropped_msgs;
+      pt.duplicated += run->stats.duplicated_msgs;
+      pt.delayed += run->stats.delayed_msgs;
+      pt.retries += run->stats.retries;
+      pt.timeout_aborts += run->stats.timeout_aborts;
+      pt.crashes += run->stats.crashes;
+    }
+    pt.commit_rate =
+        static_cast<double>(top_commits) / (kSeeds * kTops);
+    pt.messages_per_commit =
+        total_commits == 0
+            ? 0.0
+            : static_cast<double>(total_msgs) /
+                  static_cast<double>(total_commits);
+    pt.avg_rounds = static_cast<double>(total_rounds) / kSeeds;
+    pt.complete_fraction = static_cast<double>(complete_runs) / kSeeds;
+    std::printf(
+        "%s{\"rate\":%.2f,\"commit_rate\":%.4f,"
+        "\"messages_per_commit\":%.3f,\"avg_rounds\":%.1f,"
+        "\"complete_fraction\":%.2f,\"dropped\":%llu,\"duplicated\":%llu,"
+        "\"delayed\":%llu,\"retries\":%llu,\"timeout_aborts\":%llu,"
+        "\"crashes\":%llu}",
+        first_rate ? "" : ",", pt.rate, pt.commit_rate,
+        pt.messages_per_commit, pt.avg_rounds, pt.complete_fraction,
+        static_cast<unsigned long long>(pt.dropped),
+        static_cast<unsigned long long>(pt.duplicated),
+        static_cast<unsigned long long>(pt.delayed),
+        static_cast<unsigned long long>(pt.retries),
+        static_cast<unsigned long long>(pt.timeout_aborts),
+        static_cast<unsigned long long>(pt.crashes));
+    first_rate = false;
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -2,6 +2,7 @@
 #define RNT_DIST_DIST_ALGEBRA_H_
 
 #include <optional>
+#include <set>
 #include <string>
 #include <variant>
 #include <vector>
@@ -139,8 +140,16 @@ std::optional<algebra::LockEvent> DistToValueEvent(const DistEvent& e);
 /// h_i(b) for every node i and for the buffer. Used by the refinement
 /// tests to discharge the local-mapping proof obligations (Lemmas 23-26)
 /// on concrete runs.
+///
+/// `down_nodes`, when given, names nodes that are currently crashed:
+/// their *knowledge* obligations (summary must contain origin actions and
+/// home statuses) are waived — a wiped volatile summary is not a
+/// reachable ℬ state until recovery replays the buffer M_i — while their
+/// truthfulness obligations (no invented statuses) and their durable
+/// value maps are still checked.
 Status CheckLocalConsistency(const DistAlgebra& alg, const DistState& b,
-                             const valuemap::ValState& abstract);
+                             const valuemap::ValState& abstract,
+                             const std::set<NodeId>* down_nodes = nullptr);
 
 /// Candidate-event generator for random exploration of ℬ. Proposes node
 /// events enabled by local knowledge, full-summary sends between all node

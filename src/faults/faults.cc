@@ -1,0 +1,88 @@
+#include "faults/faults.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rnt::faults {
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream os;
+  os << "FaultPlan{seed=" << seed << ", drop=" << drop_prob
+     << ", dup=" << dup_prob << ", delay=" << delay_prob << "(max "
+     << max_delay_rounds << ")";
+  for (const CrashSpec& c : crashes) {
+    os << ", crash(n" << c.node << "@r" << c.round << " for " << c.down_for
+       << ")";
+  }
+  for (const PartitionSpec& p : partitions) {
+    os << ", partition(n" << p.a << "|n" << p.b << " r[" << p.from_round
+       << "," << p.until_round << "))";
+  }
+  os << "}";
+  return os.str();
+}
+
+FaultInjector::Verdict FaultInjector::OnMessage(NodeId from, NodeId to,
+                                                int round) {
+  // Fixed draw count per call: fate decisions at different probabilities
+  // consume the PRNG identically.
+  const double drop_u = rng_.NextDouble();
+  const double delay_u = rng_.NextDouble();
+  const double dup_u = rng_.NextDouble();
+  const int span = std::max(1, plan_.max_delay_rounds);
+  const int delay_len = 1 + static_cast<int>(rng_.Below(span));
+  const int dup_len = 1 + static_cast<int>(rng_.Below(span));
+
+  Verdict v;
+  if (Partitioned(from, to, round)) {
+    v.drop = true;
+    v.partitioned = true;
+    return v;
+  }
+  if (drop_u < plan_.drop_prob) {
+    v.drop = true;
+    return v;
+  }
+  if (delay_u < plan_.delay_prob) v.delay = delay_len;
+  if (dup_u < plan_.dup_prob) v.duplicate_delay = v.delay + dup_len;
+  return v;
+}
+
+bool FaultInjector::Partitioned(NodeId a, NodeId b, int round) const {
+  for (const PartitionSpec& p : plan_.partitions) {
+    bool pair = (p.a == a && p.b == b) || (p.a == b && p.b == a);
+    if (pair && round >= p.from_round && round < p.until_round) return true;
+  }
+  return false;
+}
+
+Status ValidatePlan(const FaultPlan& plan, NodeId num_nodes) {
+  auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!in_unit(plan.drop_prob) || !in_unit(plan.dup_prob) ||
+      !in_unit(plan.delay_prob)) {
+    return Status::InvalidArgument("fault probabilities must lie in [0, 1]");
+  }
+  if (plan.max_delay_rounds < 0) {
+    return Status::InvalidArgument("max_delay_rounds must be non-negative");
+  }
+  for (const CrashSpec& c : plan.crashes) {
+    if (c.node >= num_nodes) {
+      return Status::InvalidArgument("crash names a node outside [k]");
+    }
+    if (c.round < 0 || c.down_for < 1) {
+      return Status::InvalidArgument(
+          "crash round must be >= 0 and down_for >= 1");
+    }
+  }
+  for (const PartitionSpec& p : plan.partitions) {
+    if (p.a >= num_nodes || p.b >= num_nodes) {
+      return Status::InvalidArgument("partition names a node outside [k]");
+    }
+    if (p.from_round > p.until_round) {
+      return Status::InvalidArgument("partition interval is inverted");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rnt::faults

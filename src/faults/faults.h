@@ -1,0 +1,99 @@
+#ifndef RNT_FAULTS_FAULTS_H_
+#define RNT_FAULTS_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rnt::faults {
+
+/// Crash node `node` at the start of scheduler round `round`, wiping its
+/// volatile state (the action summary i.T). The node is reborn
+/// `down_for` rounds later; a fault-aware driver recovers it by replaying
+/// the monotone message buffer M_i — the paper's recovery story, made
+/// executable (ℬ's buffer is "all information ever sent toward node i",
+/// so a rebirth that receives M_i is just another legal Receive event).
+struct CrashSpec {
+  NodeId node = 0;
+  int round = 0;
+  int down_for = 4;
+};
+
+/// Sever the link between nodes `a` and `b` for rounds [from, until):
+/// transmissions in either direction are dropped by the network during
+/// the interval.
+struct PartitionSpec {
+  NodeId a = 0;
+  NodeId b = 0;
+  int from_round = 0;
+  int until_round = 0;
+};
+
+/// A seeded, fully deterministic description of the faults to inject into
+/// one distributed run. Two runs driven by equal plans experience
+/// bit-identical fault schedules — chaos that is exactly reproducible.
+///
+/// Message faults are *legal-schedule* faults: ℬ already permits dropped
+/// (never-received), duplicated (M_j is cumulative), delayed, and
+/// reordered (any sub-summary of M_j) deliveries, so the injector only
+/// chooses *which* legal events the scheduler offers; it never bends the
+/// algebra's semantics.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Probability a transmission is lost before reaching the buffer.
+  double drop_prob = 0.0;
+  /// Probability a delivered transmission is delivered a second time.
+  double dup_prob = 0.0;
+  /// Probability a delivered transmission is delayed by 1..max_delay_rounds
+  /// rounds (delays of distinct messages reorder them).
+  double delay_prob = 0.0;
+  int max_delay_rounds = 3;
+  std::vector<CrashSpec> crashes;
+  std::vector<PartitionSpec> partitions;
+
+  std::string ToString() const;
+};
+
+/// Deterministic per-message fault decisions drawn from the plan's seed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed) {}
+
+  /// The fate of one transmission.
+  struct Verdict {
+    bool drop = false;
+    /// True when the drop was forced by an active partition (counted
+    /// separately from random loss by callers that care).
+    bool partitioned = false;
+    /// Rounds before the receive fires (0 = next delivery pass).
+    int delay = 0;
+    /// When >= 0, a duplicate delivery fires after this many rounds.
+    int duplicate_delay = -1;
+  };
+
+  /// Decides the fate of a transmission from `from` to `to` at `round`.
+  /// Consumes a fixed number of PRNG draws per call regardless of the
+  /// probabilities, so sweeps over fault rates with one seed see the same
+  /// underlying random sequence.
+  Verdict OnMessage(NodeId from, NodeId to, int round);
+
+  bool Partitioned(NodeId a, NodeId b, int round) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+};
+
+/// Validates a plan: probabilities in [0, 1], non-negative intervals.
+Status ValidatePlan(const FaultPlan& plan, NodeId num_nodes);
+
+}  // namespace rnt::faults
+
+#endif  // RNT_FAULTS_FAULTS_H_

@@ -39,6 +39,10 @@ bool ExplainableBySubsequence(const action::ActionRegistry& reg, ObjectId x,
 }
 
 Status CheckOrphanViewConsistency(const aat::Aat& t) {
+  return CheckOrphanViewConsistency(t, kMaxOrphanExplainSize);
+}
+
+Status CheckOrphanViewConsistency(const aat::Aat& t, std::size_t max_explain) {
   const action::ActionRegistry& reg = t.registry();
   for (ObjectId x : t.TouchedObjects()) {
     for (ActionId a : t.Datasteps(x)) {
@@ -56,7 +60,7 @@ Status CheckOrphanViewConsistency(const aat::Aat& t) {
       // the fold of *some* subsequence of the visible predecessors
       // (branches discarded by lose-lock before the orphan ran simply do
       // not contribute in that execution).
-      if (preds.size() > kMaxOrphanExplainSize) {
+      if (preds.size() > max_explain) {
         return Status::FailedPrecondition(
             "orphan view too large to explain exhaustively");
       }

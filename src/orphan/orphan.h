@@ -70,6 +70,11 @@ bool IsOrphan(const aat::Aat& t, ActionId a);
 /// kFailedPrecondition; tests keep trees small.
 Status CheckOrphanViewConsistency(const aat::Aat& t);
 
+/// As above with an explicit bound on the exhaustive-explanation search —
+/// fault-injection tests produce bushier orphan sets than the hand-built
+/// trees and choose their own cost ceiling.
+Status CheckOrphanViewConsistency(const aat::Aat& t, std::size_t max_explain);
+
 inline constexpr std::size_t kMaxOrphanExplainSize = 20;
 
 /// True iff some subsequence of `preds` (in data order) folds to `want` —

@@ -1,0 +1,570 @@
+#include "sim/chaos_driver.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rnt::sim {
+
+namespace {
+
+using dist::ActionSummary;
+using dist::DistAlgebra;
+using dist::DistEvent;
+
+/// Round-based fault-aware scheduler. The execution plan is the same
+/// depth-first traversal as RunProgram's, but run as an explicit frame
+/// stack so that a step can *stall* — return control to the scheduler,
+/// wait out a backoff interval while the network delivers (or loses)
+/// messages and nodes crash and recover, and then retry. Every event it
+/// applies is a legal ℬ event; faults only shape which legal events get
+/// offered and when.
+class ChaosDriver {
+ public:
+  ChaosDriver(const DistAlgebra& alg, const ChaosOptions& options)
+      : alg_(alg),
+        topo_(alg.topology()),
+        reg_(alg.registry()),
+        options_(options),
+        injector_(options.plan),
+        state_(alg.Initial()),
+        val_alg_(&alg.registry()),
+        val_state_(val_alg_.Initial()),
+        children_(reg_.size()) {
+    for (ActionId a = 1; a < reg_.size(); ++a) {
+      children_[reg_.Parent(a)].push_back(a);
+    }
+  }
+
+  StatusOr<ChaosRun> Run() {
+    RNT_RETURN_IF_ERROR(faults::ValidatePlan(options_.plan, topo_.k()));
+    for (ActionId a : options_.abort_set) {
+      if (!reg_.Valid(a) || reg_.IsAccess(a) || a == kRootAction) {
+        return Status::InvalidArgument(
+            "abort_set must contain registered non-access actions");
+      }
+    }
+    while (mode_ != Mode::kDone) {
+      if (round_ >= options_.max_rounds) {
+        complete_ = false;
+        break;
+      }
+      StartRound();
+      if (round_ >= next_attempt_round_) {
+        RNT_RETURN_IF_ERROR(StepOnce());
+      }
+      if (options_.check_invariants) {
+        RNT_RETURN_IF_ERROR(CheckInvariants());
+      }
+      ++round_;
+    }
+    stats_.rounds = round_;
+    StallDiagnosis stalls;
+    if (!complete_) stalls = DiagnoseStalls(alg_, state_);
+    return ChaosRun{stats_,           std::move(state_),
+                    std::move(val_state_), std::move(events_),
+                    complete_,       std::move(stalls)};
+  }
+
+ private:
+  enum class Mode { kExec, kDrain, kDone };
+
+  struct Frame {
+    ActionId a = kInvalidAction;
+    enum class Stage { kCreate, kStaticAbort, kChildren, kCommit, kPerform };
+    Stage stage = Stage::kCreate;
+    std::size_t next_child = 0;
+    bool created = false;
+  };
+
+  struct Delivery {
+    NodeId to = 0;
+    ActionSummary summary;
+  };
+
+  struct DrainTask {
+    NodeId node = 0;
+    ObjectId object = 0;
+  };
+
+  bool Down(NodeId i) const {
+    auto it = down_until_.find(i);
+    return it != down_until_.end() && it->second > round_;
+  }
+
+  /// Crash wipes, rebirths, and due message deliveries for this round.
+  void StartRound() {
+    // Rebirths first: a node due back up replays its durable buffer M_i —
+    // "all information ever sent toward i", which the WAL discipline
+    // keeps a superset of everything the node ever knew.
+    for (const auto& [node, until] : down_until_) {
+      if (until != round_) continue;
+      DistEvent recv{dist::Receive{node, state_.buffer[node]}};
+      if (!state_.buffer[node].empty() && alg_.Defined(state_, recv)) {
+        alg_.Apply(state_, recv);
+        events_.push_back(std::move(recv));
+      }
+      ++stats_.recovered_nodes;
+    }
+    // Crashes scheduled for this round wipe volatile summaries; the value
+    // map (the durable lock table for objects homed here) survives.
+    for (const faults::CrashSpec& c : options_.plan.crashes) {
+      if (c.round != round_) continue;
+      state_.nodes[c.node].summary = ActionSummary{};
+      ++stats_.crashes;
+      int until = round_ + std::max(1, c.down_for);
+      int& slot = down_until_[c.node];
+      slot = std::max(slot, until);
+    }
+    // Deliveries due this round; a down destination postpones its mail to
+    // the rebirth round (the network keeps trying, it does not lose the
+    // message to the crash — M_j already holds it anyway).
+    std::vector<Delivery> due;
+    auto end = pending_.upper_bound(round_);
+    for (auto it = pending_.begin(); it != end; ++it) {
+      due.push_back(std::move(it->second));
+    }
+    pending_.erase(pending_.begin(), end);
+    for (Delivery& d : due) {
+      if (Down(d.to)) {
+        pending_.emplace(down_until_[d.to], std::move(d));
+        continue;
+      }
+      DistEvent recv{dist::Receive{d.to, std::move(d.summary)}};
+      if (alg_.Defined(state_, recv)) {
+        alg_.Apply(state_, recv);
+        events_.push_back(std::move(recv));
+      }
+    }
+  }
+
+  Status CheckInvariants() {
+    std::set<NodeId> down;
+    for (const auto& [node, until] : down_until_) {
+      if (until > round_) down.insert(node);
+    }
+    return dist::CheckLocalConsistency(alg_, state_, val_state_, &down);
+  }
+
+  /// Applies one node event: checks it is defined at level 5 *and* that
+  /// its image is defined at level 4 (the refinement obligation — a
+  /// violation under fire is a bug worth an error, not a retry), applies
+  /// both, logs it, and WAL-logs summary changes via a self-send so the
+  /// buffer M_i stays a superset of node i's volatile knowledge.
+  Status ApplyNodeEvent(const DistEvent& e) {
+    if (!alg_.Defined(state_, e)) {
+      return Status::Internal("chaos driver: event unexpectedly undefined: " +
+                              dist::ToString(e));
+    }
+    std::optional<algebra::LockEvent> image = dist::DistToValueEvent(e);
+    if (image.has_value() && !val_alg_.Defined(val_state_, *image)) {
+      return Status::Internal(
+          "chaos driver: refinement violated, no level-4 image for " +
+          dist::ToString(e));
+    }
+    alg_.Apply(state_, e);
+    if (image.has_value()) val_alg_.Apply(val_state_, *image);
+    events_.push_back(e);
+    ++stats_.node_events;
+    bool changes_summary =
+        std::holds_alternative<dist::NodeCreate>(e) ||
+        std::holds_alternative<dist::NodeCommit>(e) ||
+        std::holds_alternative<dist::NodeAbort>(e) ||
+        std::holds_alternative<dist::NodePerform>(e);
+    if (changes_summary) {
+      NodeId doer = alg_.Doer(e);
+      DistEvent wal{dist::Send{doer, doer, state_.nodes[doer].summary}};
+      if (alg_.Defined(state_, wal)) {
+        alg_.Apply(state_, wal);
+        events_.push_back(std::move(wal));
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Ships node `from`'s summary toward `to` through the chaotic network.
+  /// The Send (merge into M_to) happens unless the injector drops the
+  /// transmission; the matching Receive is delivered now, later, or twice
+  /// per the verdict.
+  void Transmit(NodeId from, NodeId to) {
+    if (from == to) return;
+    const ActionSummary& summary = state_.nodes[from].summary;
+    if (summary.empty()) return;
+    faults::FaultInjector::Verdict v = injector_.OnMessage(from, to, round_);
+    if (v.drop) {
+      ++stats_.dropped_msgs;
+      return;
+    }
+    DistEvent send{dist::Send{from, to, summary}};
+    alg_.Apply(state_, send);  // always defined: full summary <= own summary
+    events_.push_back(std::move(send));
+    ++stats_.messages;
+    stats_.summary_entries += summary.size();
+    if (v.delay == 0 && !Down(to)) {
+      DistEvent recv{dist::Receive{to, summary}};
+      alg_.Apply(state_, recv);  // defined: just merged into M_to
+      events_.push_back(std::move(recv));
+    } else {
+      ++stats_.delayed_msgs;
+      pending_.emplace(round_ + std::max(1, v.delay), Delivery{to, summary});
+    }
+    if (v.duplicate_delay >= 0) {
+      ++stats_.duplicated_msgs;
+      pending_.emplace(round_ + std::max(1, v.duplicate_delay),
+                       Delivery{to, summary});
+    }
+  }
+
+  /// Finds a live node that can teach `to` about `a` (existence, or its
+  /// final status when `need_done`) and transmits from it. Returns false
+  /// when no live node has the knowledge — the stall must simply wait.
+  bool RequestKnowledge(ActionId a, NodeId to, bool need_done) {
+    auto has = [&](NodeId i) {
+      if (i == to || Down(i)) return false;
+      const ActionSummary& t = state_.nodes[i].summary;
+      return need_done ? t.IsDone(a) : t.Contains(a);
+    };
+    NodeId home = topo_.HomeOfAction(a);
+    NodeId source = topo_.k();
+    if (has(home)) {
+      source = home;
+    } else {
+      for (NodeId i = 0; i < topo_.k(); ++i) {
+        if (has(i)) {
+          source = i;
+          break;
+        }
+      }
+    }
+    if (source >= topo_.k()) return false;
+    Transmit(source, to);
+    return true;
+  }
+
+  void ResetBackoff() {
+    attempts_ = 0;
+    next_attempt_round_ = 0;
+    pending_blocker_ = kInvalidAction;
+  }
+
+  /// Records an unproductive attempt: backs off exponentially, and past
+  /// max_attempts_per_step escalates to timeout handling. `blocker` names
+  /// the lock holder being waited on, when the stall is a lock wait.
+  Status Stalled(ActionId blocker) {
+    pending_blocker_ = blocker;
+    if (attempts_ >= options_.max_attempts_per_step) return HandleTimeout();
+    if (attempts_ > 0) ++stats_.retries;
+    ++attempts_;
+    int shift = std::min(attempts_ - 1, 5);
+    int backoff = std::max(1, options_.backoff_base) << shift;
+    backoff = std::min(backoff, std::max(1, options_.backoff_cap));
+    next_attempt_round_ = round_ + backoff;
+    return Status::Ok();
+  }
+
+  /// Timeout-aborts the deepest abortable ancestor of a *stuck* lock
+  /// holder (one that will never commit because its subtree was abandoned)
+  /// — the dynamic lose-lock path. Skips ancestors of `requester` so a
+  /// blocked step never shoots down its own transaction from here.
+  StatusOr<bool> TryAbortStuckAncestor(ActionId blocker, ActionId requester) {
+    for (ActionId c : reg_.AncestorChain(blocker)) {
+      if (c == kRootAction || reg_.IsAccess(c)) continue;
+      if (requester != kInvalidAction && reg_.IsAncestor(c, requester)) {
+        continue;
+      }
+      NodeId home = topo_.HomeOfAction(c);
+      if (Down(home) || !state_.nodes[home].summary.IsActive(c)) continue;
+      RNT_RETURN_IF_ERROR(ApplyNodeEvent(DistEvent{dist::NodeAbort{home, c}}));
+      aborted_.insert(c);
+      ++stats_.timeout_aborts;
+      return true;
+    }
+    return false;
+  }
+
+  /// A step exhausted its attempts. Remedies, in order: abort the stuck
+  /// lock holder's subtransaction (frees the lock via lose-lock); abort
+  /// the deepest abortable subtransaction on the requester's own path
+  /// (its subtree becomes orphaned); failing both, abandon the subtree —
+  /// graceful degradation, the rest of the program still runs.
+  Status HandleTimeout() {
+    ActionId requester = kInvalidAction;
+    if (mode_ == Mode::kExec && !stack_.empty()) requester = stack_.back().a;
+    if (pending_blocker_ != kInvalidAction) {
+      StatusOr<bool> aborted =
+          TryAbortStuckAncestor(pending_blocker_, requester);
+      RNT_RETURN_IF_ERROR(aborted.status());
+      if (*aborted) {
+        ResetBackoff();
+        return Status::Ok();
+      }
+    }
+    if (mode_ == Mode::kDrain) {
+      complete_ = false;
+      ++drain_idx_;
+      ResetBackoff();
+      return Status::Ok();
+    }
+    for (int idx = static_cast<int>(stack_.size()) - 1; idx >= 0; --idx) {
+      const Frame& f = stack_[static_cast<std::size_t>(idx)];
+      if (!f.created || reg_.IsAccess(f.a) || aborted_.count(f.a)) continue;
+      NodeId home = topo_.HomeOfAction(f.a);
+      if (Down(home) || !state_.nodes[home].summary.IsActive(f.a)) continue;
+      RNT_RETURN_IF_ERROR(
+          ApplyNodeEvent(DistEvent{dist::NodeAbort{home, f.a}}));
+      aborted_.insert(f.a);
+      ++stats_.timeout_aborts;
+      stack_.resize(static_cast<std::size_t>(idx));
+      ResetBackoff();
+      return Status::Ok();
+    }
+    complete_ = false;
+    stack_.clear();
+    ResetBackoff();
+    return Status::Ok();
+  }
+
+  void PushFrame(ActionId a) {
+    stack_.push_back(Frame{a});
+    ResetBackoff();
+  }
+
+  Status StepOnce() {
+    if (mode_ == Mode::kExec) {
+      if (stack_.empty()) {
+        const std::vector<ActionId>& tops = children_[kRootAction];
+        if (next_top_ < tops.size()) {
+          PushFrame(tops[next_top_++]);
+        } else {
+          mode_ = Mode::kDrain;
+          for (NodeId i = 0; i < topo_.k(); ++i) {
+            for (ObjectId x : state_.nodes[i].vmap.TouchedObjects()) {
+              drain_tasks_.push_back(DrainTask{i, x});
+            }
+          }
+          ResetBackoff();
+          return Status::Ok();
+        }
+      }
+      return StepFrame();
+    }
+    if (drain_idx_ >= drain_tasks_.size()) {
+      mode_ = Mode::kDone;
+      return Status::Ok();
+    }
+    DrainTask task = drain_tasks_[drain_idx_];
+    if (Down(task.node)) return Stalled(kInvalidAction);
+    return LockWalk(task.node, task.object, kInvalidAction,
+                    /*then_perform=*/false);
+  }
+
+  Status StepFrame() {
+    Frame& f = stack_.back();
+    switch (f.stage) {
+      case Frame::Stage::kCreate: {
+        NodeId origin = topo_.Origin(f.a);
+        if (Down(origin)) return Stalled(kInvalidAction);
+        ActionId p = reg_.Parent(f.a);
+        if (p != kRootAction &&
+            !state_.nodes[origin].summary.Contains(p)) {
+          RequestKnowledge(p, origin, /*need_done=*/false);
+          return Stalled(kInvalidAction);
+        }
+        RNT_RETURN_IF_ERROR(
+            ApplyNodeEvent(DistEvent{dist::NodeCreate{origin, f.a}}));
+        created_at_[f.a] = origin;
+        f.created = true;
+        ResetBackoff();
+        if (reg_.IsAccess(f.a)) {
+          f.stage = Frame::Stage::kPerform;
+        } else if (options_.abort_set.count(f.a)) {
+          f.stage = Frame::Stage::kStaticAbort;
+        } else {
+          f.stage = Frame::Stage::kChildren;
+        }
+        return Status::Ok();
+      }
+      case Frame::Stage::kStaticAbort: {
+        NodeId home = topo_.HomeOfAction(f.a);
+        if (Down(home)) return Stalled(kInvalidAction);
+        if (!state_.nodes[home].summary.Contains(f.a)) {
+          RequestKnowledge(f.a, home, /*need_done=*/false);
+          return Stalled(kInvalidAction);
+        }
+        RNT_RETURN_IF_ERROR(
+            ApplyNodeEvent(DistEvent{dist::NodeAbort{home, f.a}}));
+        aborted_.insert(f.a);
+        ++stats_.aborts;
+        ResetBackoff();
+        stack_.pop_back();
+        return Status::Ok();
+      }
+      case Frame::Stage::kChildren: {
+        const std::vector<ActionId>& kids = children_[f.a];
+        if (f.next_child < kids.size()) {
+          ActionId c = kids[f.next_child++];
+          PushFrame(c);  // invalidates f
+          return Status::Ok();
+        }
+        f.stage = Frame::Stage::kCommit;
+        return Status::Ok();
+      }
+      case Frame::Stage::kCommit: {
+        NodeId home = topo_.HomeOfAction(f.a);
+        if (Down(home)) return Stalled(kInvalidAction);
+        const ActionSummary& t = state_.nodes[home].summary;
+        if (!t.Contains(f.a)) {
+          RequestKnowledge(f.a, home, /*need_done=*/false);
+          return Stalled(kInvalidAction);
+        }
+        // ℬ's (b12) only constrains locally-known children, but the
+        // level-4 commit needs *every* created child done — and the home
+        // knows every child exists (children are created at the parent's
+        // home), so insisting on done statuses here costs no generality.
+        for (ActionId c : children_[f.a]) {
+          if (!created_at_.count(c)) continue;
+          if (!t.IsDone(c)) {
+            RequestKnowledge(c, home, /*need_done=*/true);
+            return Stalled(kInvalidAction);
+          }
+        }
+        RNT_RETURN_IF_ERROR(
+            ApplyNodeEvent(DistEvent{dist::NodeCommit{home, f.a}}));
+        ++stats_.commits;
+        ResetBackoff();
+        stack_.pop_back();
+        return Status::Ok();
+      }
+      case Frame::Stage::kPerform: {
+        ObjectId x = reg_.Object(f.a);
+        NodeId i = topo_.HomeOfObject(x);
+        if (Down(i)) return Stalled(kInvalidAction);
+        if (!state_.nodes[i].summary.Contains(f.a)) {
+          RequestKnowledge(f.a, i, /*need_done=*/false);
+          return Stalled(kInvalidAction);
+        }
+        return LockWalk(i, x, f.a, /*then_perform=*/true);
+      }
+    }
+    return Status::Internal("chaos driver: unreachable frame stage");
+  }
+
+  /// The aborted ancestor (or self) of an action, per the driver's own
+  /// bookkeeping (static and timeout aborts).
+  ActionId AbortedAncestor(ActionId a) const {
+    for (ActionId c : reg_.AncestorChain(a)) {
+      if (c != kRootAction && aborted_.count(c)) return c;
+    }
+    return kInvalidAction;
+  }
+
+  /// Walks blocking locks on x at node i upward (release) or away (lose)
+  /// as far as local knowledge allows; stalls — requesting the missing
+  /// status — when it runs ahead of what i knows. With the chain clear,
+  /// performs the requester (or, in drain mode, finishes the task).
+  Status LockWalk(NodeId i, ObjectId x, ActionId requester,
+                  bool then_perform) {
+    for (int guard = 0; guard < options_.max_rounds; ++guard) {
+      const auto* entry = state_.nodes[i].vmap.EntriesFor(x);
+      ActionId blocker = kInvalidAction;
+      if (entry != nullptr) {
+        for (const auto& [b, v] : *entry) {
+          if (b != kRootAction &&
+              (requester == kInvalidAction ||
+               !reg_.IsProperAncestor(b, requester))) {
+            blocker = b;
+            break;
+          }
+        }
+      }
+      if (blocker == kInvalidAction) break;
+      ActionId dead = AbortedAncestor(blocker);
+      if (dead != kInvalidAction) {
+        if (!state_.nodes[i].summary.IsAborted(dead)) {
+          RequestKnowledge(dead, i, /*need_done=*/true);
+          return Stalled(blocker);
+        }
+        RNT_RETURN_IF_ERROR(
+            ApplyNodeEvent(DistEvent{dist::NodeLoseLock{i, blocker, x}}));
+        ++stats_.loses;
+        ResetBackoff();
+      } else {
+        if (!state_.nodes[i].summary.IsCommitted(blocker)) {
+          RequestKnowledge(blocker, i, /*need_done=*/true);
+          return Stalled(blocker);
+        }
+        RNT_RETURN_IF_ERROR(
+            ApplyNodeEvent(DistEvent{dist::NodeReleaseLock{i, blocker, x}}));
+        ++stats_.releases;
+        ResetBackoff();
+      }
+    }
+    if (then_perform) {
+      Frame& f = stack_.back();
+      Value u = state_.nodes[i].vmap.PrincipalValue(x, reg_);
+      RNT_RETURN_IF_ERROR(
+          ApplyNodeEvent(DistEvent{dist::NodePerform{i, f.a, u}}));
+      ++stats_.performs;
+      ResetBackoff();
+      stack_.pop_back();
+    } else {
+      ++drain_idx_;
+      ResetBackoff();
+    }
+    return Status::Ok();
+  }
+
+  const DistAlgebra& alg_;
+  const dist::Topology& topo_;
+  const action::ActionRegistry& reg_;
+  const ChaosOptions& options_;
+  faults::FaultInjector injector_;
+  dist::DistState state_;
+  valuemap::ValueMapAlgebra val_alg_;
+  valuemap::ValState val_state_;
+  std::vector<std::vector<ActionId>> children_;
+  std::vector<DistEvent> events_;
+
+  Mode mode_ = Mode::kExec;
+  int round_ = 0;
+  std::vector<Frame> stack_;
+  std::size_t next_top_ = 0;
+  std::vector<DrainTask> drain_tasks_;
+  std::size_t drain_idx_ = 0;
+
+  int attempts_ = 0;
+  int next_attempt_round_ = 0;
+  ActionId pending_blocker_ = kInvalidAction;
+
+  std::map<NodeId, int> down_until_;
+  std::multimap<int, Delivery> pending_;  // delivery round -> message
+
+  std::map<ActionId, NodeId> created_at_;
+  std::set<ActionId> aborted_;
+  DriverStats stats_;
+  bool complete_ = true;
+};
+
+}  // namespace
+
+txn::FaultStats ToFaultStats(const DriverStats& stats) {
+  txn::FaultStats f;
+  f.retries = stats.retries;
+  f.crashes = stats.crashes;
+  f.dropped_msgs = stats.dropped_msgs;
+  f.duplicated_msgs = stats.duplicated_msgs;
+  f.delayed_msgs = stats.delayed_msgs;
+  f.recovered_nodes = stats.recovered_nodes;
+  f.timeout_aborts = stats.timeout_aborts;
+  return f;
+}
+
+StatusOr<ChaosRun> ChaosRunProgram(const DistAlgebra& alg,
+                                   const ChaosOptions& options) {
+  ChaosDriver driver(alg, options);
+  return driver.Run();
+}
+
+}  // namespace rnt::sim

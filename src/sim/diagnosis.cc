@@ -1,0 +1,87 @@
+#include "sim/diagnosis.h"
+
+#include <sstream>
+
+namespace rnt::sim {
+
+std::string StallDiagnosis::ToString() const {
+  std::ostringstream os;
+  for (const StalledAction& sa : stalled) {
+    os << "  action " << sa.action << (sa.is_access ? " (access)" : "")
+       << " @ n" << sa.home;
+    if (sa.is_access) os << " x" << sa.object;
+    if (sa.waiting_on != kInvalidAction) {
+      os << " waiting on " << sa.waiting_on;
+    }
+    if (!sa.detail.empty()) os << ": " << sa.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+StallDiagnosis DiagnoseStalls(const dist::DistAlgebra& alg,
+                              const dist::DistState& s) {
+  const dist::Topology& topo = alg.topology();
+  const action::ActionRegistry& reg = alg.registry();
+  StallDiagnosis out;
+
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    // Live = some node knows the action and no node knows it done.
+    // (Statuses are only ever changed at the home node, so a done entry
+    // anywhere is authoritative.)
+    bool known = false, done = false;
+    for (const dist::NodeState& n : s.nodes) {
+      if (!n.summary.Contains(a)) continue;
+      known = true;
+      if (n.summary.IsDone(a)) done = true;
+    }
+    if (!known || done) continue;
+
+    StalledAction sa;
+    sa.action = a;
+    sa.is_access = reg.IsAccess(a);
+    sa.home = topo.HomeOfAction(a);
+    if (sa.is_access) {
+      ObjectId x = reg.Object(a);
+      sa.object = x;
+      const dist::NodeState& hn = s.nodes[sa.home];
+      if (!hn.summary.Contains(a)) {
+        sa.detail = "home never learned of the access";
+      } else if (const auto* entry = hn.vmap.EntriesFor(x)) {
+        for (const auto& [b, v] : *entry) {
+          if (b != kRootAction && !reg.IsProperAncestor(b, a)) {
+            sa.waiting_on = b;
+            sa.detail = "blocked by lock holder";
+            break;
+          }
+        }
+        if (sa.waiting_on == kInvalidAction) {
+          sa.detail = "lock chain clear; perform never ran";
+        }
+      } else {
+        sa.detail = "lock chain clear; perform never ran";
+      }
+    } else {
+      const dist::NodeState& hn = s.nodes[sa.home];
+      if (!hn.summary.Contains(a)) {
+        sa.detail = "home never learned of the action";
+      } else {
+        for (ActionId c = 1; c < reg.size(); ++c) {
+          if (reg.Parent(c) != a) continue;
+          if (hn.summary.Contains(c) && !hn.summary.IsDone(c)) {
+            sa.waiting_on = c;
+            sa.detail = "awaiting child completion";
+            break;
+          }
+        }
+        if (sa.waiting_on == kInvalidAction) {
+          sa.detail = "ready to commit; commit event never ran";
+        }
+      }
+    }
+    out.stalled.push_back(std::move(sa));
+  }
+  return out;
+}
+
+}  // namespace rnt::sim

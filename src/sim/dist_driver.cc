@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "sim/diagnosis.h"
+
 namespace rnt::sim {
 
 namespace {
@@ -57,8 +59,13 @@ class Driver {
 
  private:
   Status Fail(const char* what, ActionId a) {
-    return Status::FailedPrecondition(std::string("dist driver: ") + what +
-                                      " for action " + std::to_string(a));
+    std::string msg = std::string("dist driver: ") + what + " for action " +
+                      std::to_string(a);
+    StallDiagnosis diag = DiagnoseStalls(alg_, state_);
+    if (!diag.empty()) {
+      msg += "; stalled actions:\n" + diag.ToString();
+    }
+    return Status::FailedPrecondition(std::move(msg));
   }
 
   /// Ships node i's full summary to j (one message).

@@ -38,6 +38,19 @@ struct DriverStats {
   std::uint64_t releases = 0;
   std::uint64_t loses = 0;
   int rounds = 0;
+
+  // Fault-handling counters, filled by the chaos driver (always zero for
+  // the failure-free RunProgram). Mirrored into txn::FaultStats via
+  // ToFaultStats so faulty runs surface through the trace tooling.
+  std::uint64_t retries = 0;          // knowledge re-requests after backoff
+  std::uint64_t crashes = 0;          // nodes crashed (summary wiped)
+  std::uint64_t dropped_msgs = 0;     // transmissions lost or partitioned
+  std::uint64_t duplicated_msgs = 0;  // duplicate deliveries scheduled
+  std::uint64_t delayed_msgs = 0;     // deliveries pushed past send round
+  std::uint64_t recovered_nodes = 0;  // rebirths via buffer M_i replay
+  std::uint64_t timeout_aborts = 0;   // stuck subtransactions aborted
+
+  friend bool operator==(const DriverStats&, const DriverStats&) = default;
 };
 
 struct DriverRun {
@@ -54,7 +67,9 @@ struct DriverRun {
 ///
 /// Returns kFailedPrecondition if the program cannot make progress within
 /// max_rounds (which would indicate a driver bug — the algebra itself is
-/// deadlock-free for this tree-structured schedule).
+/// deadlock-free for this tree-structured schedule). The status message
+/// carries a StallDiagnosis rendering (sim/diagnosis.h): which actions
+/// are still live and which object/home each is waiting on.
 StatusOr<DriverRun> RunProgram(const dist::DistAlgebra& alg,
                                const DriverOptions& options = {});
 

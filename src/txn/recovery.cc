@@ -3,9 +3,11 @@
 namespace rnt::txn {
 
 Status RunInChild(TxnHandle& parent, int max_retries,
-                  const std::function<Status(TxnHandle&)>& body) {
+                  const std::function<Status(TxnHandle&)>& body,
+                  FaultStats* faults) {
   Status last = Status::Ok();
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    if (attempt > 0 && faults != nullptr) ++faults->retries;
     auto child = parent.BeginChild();
     if (!child.ok()) return child.status();  // parent dead: bubble up
     Status s = body(**child);
@@ -23,9 +25,11 @@ Status RunInChild(TxnHandle& parent, int max_retries,
 }
 
 Status RunTransaction(Engine& engine, int max_attempts,
-                      const std::function<Status(TxnHandle&)>& body) {
+                      const std::function<Status(TxnHandle&)>& body,
+                      FaultStats* faults) {
   Status last = Status::Ok();
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0 && faults != nullptr) ++faults->retries;
     auto t = engine.Begin();
     Status s = body(*t);
     if (s.ok()) {

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "txn/engine.h"
+#include "txn/trace.h"
 
 namespace rnt::txn {
 
@@ -26,15 +27,21 @@ namespace rnt::txn {
 /// status or failed commit the child is aborted and retried in place, up
 /// to `max_retries` extra attempts — unless the parent itself has died
 /// (kAborted bubbles up immediately so the caller can restart higher up).
-/// Returns the final child status.
+/// Returns the final child status. When `faults` is given, every
+/// re-attempt beyond the first increments faults->retries, so runs under
+/// failure injection surface their recovery effort through the trace's
+/// FaultStats.
 Status RunInChild(TxnHandle& parent, int max_retries,
-                  const std::function<Status(TxnHandle&)>& body);
+                  const std::function<Status(TxnHandle&)>& body,
+                  FaultStats* faults = nullptr);
 
 /// Runs `body` in a fresh top-level transaction, committing on success.
 /// Retries the whole transaction (fresh Begin) up to `max_attempts`
 /// times; an aborted attempt's effects are fully rolled back each time.
+/// `faults`, when given, counts re-attempts as in RunInChild.
 Status RunTransaction(Engine& engine, int max_attempts,
-                      const std::function<Status(TxnHandle&)>& body);
+                      const std::function<Status(TxnHandle&)>& body,
+                      FaultStats* faults = nullptr);
 
 }  // namespace rnt::txn
 

@@ -6,6 +6,30 @@
 
 namespace rnt::txn {
 
+bool FaultStats::Any() const {
+  return retries || crashes || dropped_msgs || duplicated_msgs ||
+         delayed_msgs || recovered_nodes || timeout_aborts;
+}
+
+std::string FaultStats::ToString() const {
+  std::ostringstream os;
+  os << "faults{retries=" << retries << ", crashes=" << crashes
+     << ", dropped=" << dropped_msgs << ", duplicated=" << duplicated_msgs
+     << ", delayed=" << delayed_msgs << ", recovered=" << recovered_nodes
+     << ", timeout_aborts=" << timeout_aborts << "}";
+  return os.str();
+}
+
+void FaultStats::MergeFrom(const FaultStats& other) {
+  retries += other.retries;
+  crashes += other.crashes;
+  dropped_msgs += other.dropped_msgs;
+  duplicated_msgs += other.duplicated_msgs;
+  delayed_msgs += other.delayed_msgs;
+  recovered_nodes += other.recovered_nodes;
+  timeout_aborts += other.timeout_aborts;
+}
+
 StatusOr<ReplayedTrace> ReplayTrace(const Trace& trace) {
   auto registry = std::make_unique<action::ActionRegistry>();
   std::unordered_map<lock::TxnId, ActionId> id_map;

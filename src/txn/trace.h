@@ -1,7 +1,9 @@
 #ifndef RNT_TXN_TRACE_H_
 #define RNT_TXN_TRACE_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "action/action_tree.h"
@@ -28,8 +30,33 @@ struct TraceEvent {
   Value seen = 0;         // kPerform: the value read (the label)
 };
 
+/// Fault-handling counters for a run executed under injected failures —
+/// retries, node crashes, message chaos, recoveries. Attached to traces
+/// (and to sim::DriverStats) so executions that survived faults are
+/// inspectable after the fact: a trace that replays cleanly but carries
+/// faults.Any() shows how much adversity the schedule absorbed.
+struct FaultStats {
+  std::uint64_t retries = 0;          // step/child re-attempts
+  std::uint64_t crashes = 0;          // node crashes injected
+  std::uint64_t dropped_msgs = 0;     // transmissions lost (incl. partition)
+  std::uint64_t duplicated_msgs = 0;  // extra deliveries of one send
+  std::uint64_t delayed_msgs = 0;     // deliveries pushed to a later round
+  std::uint64_t recovered_nodes = 0;  // rebirths via buffer replay
+  std::uint64_t timeout_aborts = 0;   // stuck subtransactions aborted
+
+  bool Any() const;
+  std::string ToString() const;
+
+  void MergeFrom(const FaultStats& other);
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
 struct Trace {
   std::vector<TraceEvent> events;
+  /// Fault counters for the run that produced this trace (all zero for a
+  /// failure-free execution).
+  FaultStats faults;
 };
 
 /// The action-tree reconstruction of a trace: a registry built from the

@@ -1,0 +1,366 @@
+#include "sim/chaos_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "aat/aat.h"
+#include "algebra/algebra.h"
+#include "faults/faults.h"
+#include "orphan/orphan.h"
+#include "testutil.h"
+
+namespace rnt::sim {
+namespace {
+
+using action::ActionRegistry;
+using action::Update;
+
+faults::FaultPlan ChaoticPlan(std::uint64_t seed) {
+  faults::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = 0.3;
+  plan.dup_prob = 0.25;
+  plan.delay_prob = 0.25;
+  plan.max_delay_rounds = 3;
+  plan.crashes.push_back(faults::CrashSpec{0, /*round=*/8, /*down_for=*/4});
+  plan.crashes.push_back(faults::CrashSpec{1, /*round=*/20, /*down_for=*/5});
+  plan.partitions.push_back(
+      faults::PartitionSpec{0, 1, /*from_round=*/5, /*until_round=*/25});
+  return plan;
+}
+
+ActionRegistry MediumRegistry(std::uint64_t seed) {
+  Rng rng(seed);
+  testutil::RandomRegistryParams p;
+  p.top_level = 3;
+  p.max_children = 3;
+  p.max_depth = 3;
+  p.objects = 4;
+  return testutil::MakeRandomRegistry(rng, p);
+}
+
+TEST(FaultInjectorTest, DeterministicFromSeed) {
+  faults::FaultPlan plan = ChaoticPlan(99);
+  faults::FaultInjector a(plan);
+  faults::FaultInjector b(plan);
+  for (int i = 0; i < 200; ++i) {
+    NodeId from = static_cast<NodeId>(i % 3);
+    NodeId to = static_cast<NodeId>((i + 1) % 3);
+    auto va = a.OnMessage(from, to, i);
+    auto vb = b.OnMessage(from, to, i);
+    EXPECT_EQ(va.drop, vb.drop) << i;
+    EXPECT_EQ(va.partitioned, vb.partitioned) << i;
+    EXPECT_EQ(va.delay, vb.delay) << i;
+    EXPECT_EQ(va.duplicate_delay, vb.duplicate_delay) << i;
+  }
+}
+
+TEST(FaultInjectorTest, FixedDrawCountAcrossRates) {
+  // The same seed sees the same underlying random sequence at any fault
+  // rate: every call consumes a fixed number of draws, so the i-th
+  // verdict of a drop=0.6 injector and a drop=0.0 injector decide from
+  // the *same* random positions. Observable consequence: whenever the
+  // loud injector does not drop, its delay must agree with the quiet one.
+  faults::FaultPlan loud;
+  loud.seed = 7;
+  loud.drop_prob = 0.6;
+  loud.delay_prob = 1.0;
+  faults::FaultPlan quiet;
+  quiet.seed = 7;
+  quiet.drop_prob = 0.0;
+  quiet.delay_prob = 1.0;
+  faults::FaultInjector a(loud);
+  faults::FaultInjector b(quiet);
+  int survivors = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto va = a.OnMessage(0, 1, i);
+    auto vb = b.OnMessage(0, 1, i);
+    if (!va.drop) {
+      ++survivors;
+      EXPECT_EQ(va.delay, vb.delay) << "call " << i;
+    }
+  }
+  EXPECT_GT(survivors, 0);
+}
+
+TEST(FaultInjectorTest, ValidatePlanRejectsBadInputs) {
+  faults::FaultPlan plan;
+  plan.drop_prob = 1.5;
+  EXPECT_EQ(faults::ValidatePlan(plan, 3).code(),
+            StatusCode::kInvalidArgument);
+  plan.drop_prob = 0.1;
+  plan.crashes.push_back(faults::CrashSpec{9, 0, 4});
+  EXPECT_EQ(faults::ValidatePlan(plan, 3).code(),
+            StatusCode::kInvalidArgument);
+  plan.crashes.clear();
+  plan.partitions.push_back(faults::PartitionSpec{0, 1, 10, 5});
+  EXPECT_EQ(faults::ValidatePlan(plan, 3).code(),
+            StatusCode::kInvalidArgument);
+  plan.partitions.clear();
+  EXPECT_TRUE(faults::ValidatePlan(plan, 3).ok());
+}
+
+TEST(ChaosDriverTest, FaultFreeRunMatchesPlainDriver) {
+  ActionRegistry reg = MediumRegistry(5);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra alg(&topo);
+  auto plain = RunProgram(alg);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  ChaosOptions opt;  // default plan: no faults
+  opt.check_invariants = true;
+  auto chaos = ChaosRunProgram(alg, opt);
+  ASSERT_TRUE(chaos.ok()) << chaos.status();
+  EXPECT_TRUE(chaos->complete);
+  EXPECT_EQ(chaos->stats.dropped_msgs, 0u);
+  EXPECT_EQ(chaos->stats.crashes, 0u);
+  EXPECT_EQ(chaos->stats.timeout_aborts, 0u);
+  EXPECT_EQ(chaos->stats.commits, plain->stats.commits);
+  EXPECT_EQ(chaos->stats.performs, plain->stats.performs);
+  for (ObjectId x = 0; x < 4; ++x) {
+    NodeId h = topo.HomeOfObject(x);
+    const auto* mine = chaos->final_state.nodes[h].vmap.EntriesFor(x);
+    const auto* theirs = plain->final_state.nodes[h].vmap.EntriesFor(x);
+    ASSERT_EQ(mine == nullptr, theirs == nullptr) << "object " << x;
+    if (mine != nullptr) {
+      EXPECT_EQ(*mine, *theirs) << "object " << x;
+    }
+  }
+}
+
+TEST(ChaosDriverTest, SurvivesChaosWithInvariantsUnderFire) {
+  // The acceptance scenario: 30% drop, duplication, delays, two node
+  // crashes, one temporary partition — the run terminates, holds the
+  // Lemma 23-26 local-consistency obligations after every round, and its
+  // terminal abstract state satisfies Theorem 9 and orphan consistency.
+  ActionRegistry reg = MediumRegistry(11);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra alg(&topo);
+  ChaosOptions opt;
+  opt.plan = ChaoticPlan(42);
+  opt.check_invariants = true;
+  auto run = ChaosRunProgram(alg, opt);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->complete) << run->stalls.ToString();
+  EXPECT_EQ(run->stats.crashes, 2u);
+  EXPECT_EQ(run->stats.recovered_nodes, 2u);
+  EXPECT_GT(run->stats.dropped_msgs, 0u);
+  EXPECT_GT(run->stats.duplicated_msgs, 0u);
+  EXPECT_GT(run->stats.retries, 0u);
+  EXPECT_TRUE(aat::IsPermDataSerializable(run->abstract.tree));
+  EXPECT_TRUE(orphan::CheckOrphanViewConsistency(run->abstract.tree).ok());
+}
+
+TEST(ChaosDriverTest, EventLogIsAValidComputationOfB) {
+  // The log must replay cleanly against the *un-crashed* algebra: crash
+  // wipes are not events, and recovery re-enters legal states via Receive
+  // of the monotone buffer, so validity of the whole sequence is exactly
+  // the claim that faults were scheduled, never semantically forced.
+  ActionRegistry reg = MediumRegistry(11);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra alg(&topo);
+  ChaosOptions opt;
+  opt.plan = ChaoticPlan(42);
+  auto run = ChaosRunProgram(alg, opt);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(algebra::IsValidSequence(
+      alg, std::span<const dist::DistEvent>(run->events)));
+}
+
+TEST(ChaosDriverTest, BitReproducibleFromSeed) {
+  ActionRegistry reg = MediumRegistry(11);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra alg(&topo);
+  ChaosOptions opt;
+  opt.plan = ChaoticPlan(42);
+  auto a = ChaosRunProgram(alg, opt);
+  auto b = ChaosRunProgram(alg, opt);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_TRUE(a->stats == b->stats);
+  EXPECT_TRUE(a->final_state == b->final_state);
+  EXPECT_TRUE(a->events == b->events);
+  // And a different seed takes a different trajectory (same program, same
+  // fault rates — only the PRNG stream differs).
+  ChaosOptions other = opt;
+  other.plan.seed = 43;
+  auto c = ChaosRunProgram(alg, other);
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_FALSE(a->events == c->events);
+}
+
+TEST(ChaosDriverTest, TimeoutAbortsUnreachableSubtransactions) {
+  // Object x0 is homed on node 2, which is permanently partitioned from
+  // everyone. Both transactions need x0, can never reach it, and must be
+  // timeout-aborted at their own (reachable) homes; the program still
+  // terminates completely, with zero performs.
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId t2 = reg.NewAction(kRootAction);
+  reg.NewAccess(t1, 0, Update::Add(1));
+  reg.NewAccess(t2, 0, Update::Add(2));
+  dist::Topology topo(
+      &reg, 3, [](ObjectId) { return 2u; },
+      [&](ActionId a) { return a == t1 ? 0u : 1u; });
+  dist::DistAlgebra alg(&topo);
+  ChaosOptions opt;
+  opt.plan.partitions.push_back(faults::PartitionSpec{0, 2, 0, 1 << 20});
+  opt.plan.partitions.push_back(faults::PartitionSpec{1, 2, 0, 1 << 20});
+  opt.max_attempts_per_step = 4;
+  opt.check_invariants = true;
+  auto run = ChaosRunProgram(alg, opt);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->complete);
+  EXPECT_EQ(run->stats.timeout_aborts, 2u);
+  EXPECT_EQ(run->stats.performs, 0u);
+  EXPECT_EQ(run->stats.commits, 0u);
+  EXPECT_GT(run->stats.dropped_msgs, 0u) << "partition ate the requests";
+  // The accesses are now live orphans below aborted parents; the tree is
+  // still serializable and orphan-consistent (they never performed).
+  EXPECT_TRUE(run->abstract.tree.IsAborted(t1));
+  EXPECT_TRUE(run->abstract.tree.IsAborted(t2));
+  EXPECT_EQ(orphan::Orphans(run->abstract.tree).size(), 2u);
+  EXPECT_TRUE(aat::IsPermDataSerializable(run->abstract.tree));
+  EXPECT_TRUE(orphan::CheckOrphanViewConsistency(run->abstract.tree).ok());
+}
+
+TEST(ChaosDriverTest, CrashRecoveryPreservesOutcome) {
+  // A crash wipes node 1's volatile summary mid-run; recovery replays the
+  // buffer M_1 (kept complete by the driver's WAL self-sends), so the
+  // run finishes with exactly the fault-free values.
+  ActionRegistry reg = MediumRegistry(23);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra alg(&topo);
+  ChaosOptions faultfree;
+  auto base = ChaosRunProgram(alg, faultfree);
+  ASSERT_TRUE(base.ok()) << base.status();
+  ASSERT_TRUE(base->complete);
+  ChaosOptions opt;
+  opt.plan.crashes.push_back(faults::CrashSpec{1, /*round=*/6,
+                                               /*down_for=*/3});
+  opt.check_invariants = true;
+  auto run = ChaosRunProgram(alg, opt);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->complete) << run->stalls.ToString();
+  EXPECT_EQ(run->stats.crashes, 1u);
+  EXPECT_EQ(run->stats.recovered_nodes, 1u);
+  EXPECT_EQ(run->stats.commits, base->stats.commits);
+  EXPECT_EQ(run->stats.performs, base->stats.performs);
+  for (ObjectId x = 0; x < 4; ++x) {
+    NodeId h = topo.HomeOfObject(x);
+    const auto* mine = run->final_state.nodes[h].vmap.EntriesFor(x);
+    const auto* theirs = base->final_state.nodes[h].vmap.EntriesFor(x);
+    ASSERT_EQ(mine == nullptr, theirs == nullptr) << "object " << x;
+    if (mine != nullptr) {
+      EXPECT_EQ(*mine, *theirs) << "object " << x;
+    }
+  }
+}
+
+TEST(ChaosDriverTest, PermanentCrashDegradesGracefully) {
+  // Node 2 hosts transaction t1 and dies forever mid-run. t1 cannot
+  // commit and cannot even be aborted (its home is gone), so its subtree
+  // is abandoned — but t2, homed elsewhere, still commits, and the
+  // partial result carries a stall diagnosis naming the abandoned work.
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId a1 = reg.NewAccess(t1, 0, Update::Add(7));
+  ActionId t2 = reg.NewAction(kRootAction);
+  reg.NewAccess(t2, 1, Update::Add(5));
+  dist::Topology topo(
+      &reg, 3, [](ObjectId x) { return static_cast<NodeId>(x % 2); },
+      [&](ActionId a) { return reg.IsAncestor(t1, a) ? 2u : 0u; });
+  dist::DistAlgebra alg(&topo);
+  ChaosOptions opt;
+  // t1 creates at node 2 (round 0) and a1 at node 2 (origin = parent's
+  // home); a1 performs at node 0 after a knowledge transfer; then node 2
+  // dies before t1's commit can run there.
+  opt.plan.crashes.push_back(faults::CrashSpec{2, /*round=*/6,
+                                               /*down_for=*/1 << 20});
+  opt.max_attempts_per_step = 4;
+  auto run = ChaosRunProgram(alg, opt);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_FALSE(run->complete);
+  EXPECT_FALSE(run->stalls.empty()) << "diagnosis must name the stall";
+  EXPECT_TRUE(run->abstract.tree.IsCommitted(t2)) << "t2 must still commit";
+  EXPECT_TRUE(run->abstract.tree.IsActive(t1)) << "t1 abandoned, not aborted";
+  bool names_t1 = false;
+  for (const StalledAction& s : run->stalls.stalled) {
+    if (s.action == t1) names_t1 = true;
+  }
+  EXPECT_TRUE(names_t1) << run->stalls.ToString();
+  (void)a1;
+}
+
+TEST(ChaosDriverTest, StaticAbortSetStillHonored) {
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId s1 = reg.NewAction(t1);
+  reg.NewAccess(s1, 0, Update::Add(100));
+  ActionId s2 = reg.NewAction(t1);
+  reg.NewAccess(s2, 0, Update::Add(1));
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 2);
+  dist::DistAlgebra alg(&topo);
+  ChaosOptions opt;
+  opt.abort_set = {s1};
+  opt.plan.seed = 3;
+  opt.plan.drop_prob = 0.2;
+  opt.check_invariants = true;
+  auto run = ChaosRunProgram(alg, opt);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->complete);
+  EXPECT_EQ(run->stats.aborts, 1u);
+  EXPECT_EQ(run->stats.performs, 1u) << "s1's access never ran";
+  NodeId h = topo.HomeOfObject(0);
+  EXPECT_EQ(run->final_state.nodes[h].vmap.Get(0, kRootAction), 1);
+}
+
+TEST(ChaosDriverTest, SweepManySeedsAlwaysSerializable) {
+  // Property sweep: across seeds and fault rates, every terminal state
+  // must satisfy Theorem 9 and orphan-view consistency, and every event
+  // log must be a valid ℬ computation.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    ActionRegistry reg = MediumRegistry(seed);
+    dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+    dist::DistAlgebra alg(&topo);
+    ChaosOptions opt;
+    opt.plan = ChaoticPlan(seed * 31 + 1);
+    opt.plan.drop_prob = 0.2 + 0.05 * static_cast<double>(seed % 3);
+    opt.check_invariants = true;
+    auto run = ChaosRunProgram(alg, opt);
+    ASSERT_TRUE(run.ok()) << run.status() << " seed " << seed;
+    EXPECT_TRUE(aat::IsPermDataSerializable(run->abstract.tree))
+        << "seed " << seed;
+    EXPECT_TRUE(orphan::CheckOrphanViewConsistency(run->abstract.tree).ok())
+        << "seed " << seed;
+    EXPECT_TRUE(algebra::IsValidSequence(
+        alg, std::span<const dist::DistEvent>(run->events)))
+        << "seed " << seed;
+  }
+}
+
+TEST(ChaosDriverTest, ToFaultStatsProjectsCounters) {
+  DriverStats stats;
+  stats.retries = 3;
+  stats.crashes = 2;
+  stats.dropped_msgs = 7;
+  stats.duplicated_msgs = 1;
+  stats.delayed_msgs = 4;
+  stats.recovered_nodes = 2;
+  stats.timeout_aborts = 1;
+  txn::FaultStats f = ToFaultStats(stats);
+  EXPECT_EQ(f.retries, 3u);
+  EXPECT_EQ(f.crashes, 2u);
+  EXPECT_EQ(f.dropped_msgs, 7u);
+  EXPECT_EQ(f.duplicated_msgs, 1u);
+  EXPECT_EQ(f.delayed_msgs, 4u);
+  EXPECT_EQ(f.recovered_nodes, 2u);
+  EXPECT_EQ(f.timeout_aborts, 1u);
+  EXPECT_TRUE(f.Any());
+  EXPECT_NE(f.ToString().find("crashes=2"), std::string::npos);
+  EXPECT_FALSE(txn::FaultStats{}.Any());
+}
+
+}  // namespace
+}  // namespace rnt::sim

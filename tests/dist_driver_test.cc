@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "sim/diagnosis.h"
 #include "testutil.h"
 
 namespace rnt::sim {
@@ -172,6 +175,109 @@ TEST(DistDriverTest, RejectsAccessInAbortSet) {
   opt.abort_set = {a};
   auto run = RunProgram(alg, opt);
   EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DistDriverTest, EagerPropagationWithAbortsMatchesLazy) {
+  // Propagation policy × abort_set: statuses travel early under kEager,
+  // but the semantic outcome — which subtrees die, which accesses run,
+  // what the root values fold to — must be identical to kLazy. Aborted
+  // subtrees never start, so no lock is ever discarded via lose-lock.
+  Rng rng(19);
+  testutil::RandomRegistryParams p;
+  p.top_level = 3;
+  p.max_children = 3;
+  p.max_depth = 3;
+  p.objects = 4;
+  ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+  // Abort the first inner (non-access) action below each of up to two
+  // top-level transactions.
+  std::set<ActionId> abort_set;
+  for (ActionId a = 1; a < reg.size() && abort_set.size() < 2; ++a) {
+    if (!reg.IsAccess(a) && reg.Parent(a) != kRootAction) abort_set.insert(a);
+  }
+  ASSERT_FALSE(abort_set.empty());
+  std::size_t live_accesses = 0;
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    if (!reg.IsAccess(a)) continue;
+    bool dead = false;
+    for (ActionId d : abort_set) {
+      if (reg.IsProperAncestor(d, a)) dead = true;
+    }
+    if (!dead) ++live_accesses;
+  }
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra alg(&topo);
+  DriverOptions lazy;
+  lazy.abort_set = abort_set;
+  auto lrun = RunProgram(alg, lazy);
+  ASSERT_TRUE(lrun.ok()) << lrun.status();
+  DriverOptions eager;
+  eager.propagation = Propagation::kEager;
+  eager.abort_set = abort_set;
+  auto erun = RunProgram(alg, eager);
+  ASSERT_TRUE(erun.ok()) << erun.status();
+  for (const auto* run : {&lrun, &erun}) {
+    EXPECT_EQ((*run)->stats.aborts, abort_set.size());
+    EXPECT_EQ((*run)->stats.performs, live_accesses)
+        << "exactly the non-dead accesses run";
+    EXPECT_EQ((*run)->stats.loses, 0u)
+        << "statically aborted subtrees never acquire locks";
+  }
+  for (ObjectId x = 0; x < 4; ++x) {
+    NodeId h = topo.HomeOfObject(x);
+    EXPECT_EQ(lrun->final_state.nodes[h].vmap.Get(x, kRootAction),
+              erun->final_state.nodes[h].vmap.Get(x, kRootAction))
+        << "object " << x;
+  }
+}
+
+TEST(DiagnosisTest, NamesLiveActionsAndTheirBlockers) {
+  // Hand-built stalled state: t1's access a1 performed and holds the
+  // lock; t2's access a2 is created but cannot perform past it.
+  ActionRegistry reg;
+  ActionId t1 = reg.NewAction(kRootAction);
+  ActionId a1 = reg.NewAccess(t1, 0, Update::Add(1));
+  ActionId t2 = reg.NewAction(kRootAction);
+  ActionId a2 = reg.NewAccess(t2, 0, Update::Add(2));
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 1);
+  dist::DistAlgebra alg(&topo);
+  auto s = alg.Initial();
+  for (const dist::DistEvent& e :
+       {dist::DistEvent{dist::NodeCreate{0, t1}},
+        dist::DistEvent{dist::NodeCreate{0, a1}},
+        dist::DistEvent{dist::NodePerform{0, a1, 0}},
+        dist::DistEvent{dist::NodeCreate{0, t2}},
+        dist::DistEvent{dist::NodeCreate{0, a2}}}) {
+    ASSERT_TRUE(alg.Defined(s, e)) << dist::ToString(e);
+    alg.Apply(s, e);
+  }
+  StallDiagnosis diag = DiagnoseStalls(alg, s);
+  ASSERT_FALSE(diag.empty());
+  bool found_a2 = false;
+  bool found_t1 = false;
+  for (const StalledAction& st : diag.stalled) {
+    if (st.action == a2) {
+      found_a2 = true;
+      EXPECT_TRUE(st.is_access);
+      EXPECT_EQ(st.object, 0u);
+      EXPECT_EQ(st.waiting_on, a1) << "a1's lock blocks a2";
+    }
+    if (st.action == t1) found_t1 = true;
+  }
+  EXPECT_TRUE(found_a2) << diag.ToString();
+  EXPECT_TRUE(found_t1) << "t1 is live and ready to commit";
+  EXPECT_NE(diag.ToString().find("action"), std::string::npos);
+}
+
+TEST(DiagnosisTest, CleanStateHasNoStalls) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  reg.NewAccess(t, 0, Update::Add(5));
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 1);
+  dist::DistAlgebra alg(&topo);
+  auto run = RunProgram(alg);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(DiagnoseStalls(alg, run->final_state).empty());
 }
 
 TEST(DistDriverTest, MessageCountGrowsWithNodes) {

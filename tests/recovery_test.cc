@@ -87,6 +87,46 @@ TEST(RecoveryTest, RunInChildBubblesUpDeadParent) {
   EXPECT_EQ(calls, 0) << "body never runs under a dead parent";
 }
 
+TEST(RecoveryTest, RetriesAreCountedIntoFaultStats) {
+  TransactionManager engine;
+  FaultStats faults;
+  int calls = 0;
+  Status s = RunTransaction(
+      engine, 5,
+      [&](TxnHandle& t) {
+        if (++calls < 3) return Status::Aborted("flaky");
+        return t.Put(0, 1);
+      },
+      &faults);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(faults.retries, 2u) << "two re-attempts beyond the first";
+  EXPECT_TRUE(faults.Any());
+
+  auto parent = engine.Begin();
+  FaultStats child_faults;
+  int child_calls = 0;
+  Status cs = RunInChild(
+      *parent, 4,
+      [&](TxnHandle& step) {
+        if (++child_calls < 2) return Status::Aborted("flaky step");
+        return step.Put(1, 2);
+      },
+      &child_faults);
+  ASSERT_TRUE(cs.ok()) << cs;
+  EXPECT_EQ(child_faults.retries, 1u);
+  ASSERT_TRUE(parent->Commit().ok());
+}
+
+TEST(RecoveryTest, FirstTrySuccessLeavesFaultStatsClean) {
+  TransactionManager engine;
+  FaultStats faults;
+  Status s = RunTransaction(
+      engine, 3, [&](TxnHandle& t) { return t.Put(0, 7); }, &faults);
+  ASSERT_TRUE(s.ok()) << s;
+  EXPECT_EQ(faults.retries, 0u);
+  EXPECT_FALSE(faults.Any());
+}
+
 TEST(RecoveryTest, NestedCombinatorsComposeAcrossEngines) {
   // The same combinator code runs against the flat baseline — but there,
   // a child failure kills the whole transaction and RunInChild cannot
