@@ -8,8 +8,23 @@
 // release conflicts earlier (locks pass to the parent, and sibling work
 // can interleave), so its throughput should degrade more slowly with
 // workers and skew than the flat baseline's.
+//
+// Experiment E11 (EXPERIMENTS.md): `--sweep_json` runs a thread-count
+// sweep (1/2/4/8 workers) of the sharded engine against the retired
+// global-mutex design and emits one JSON document on stdout, in the
+// style of bench_faults, so the scalability trajectory is tracked:
+//   {"bench":"concurrency","txns_per_worker":...,"trajectory":[{...}]}
+//
+// `--engine=global-mutex` (or `sharded`, the default) selects the
+// concurrency skeleton for the google-benchmark path, so the seed
+// design stays measurable after its retirement as the default.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "baseline/flat_engine.h"
 #include "txn/transaction_manager.h"
@@ -20,6 +35,11 @@ namespace {
 using rnt::workload::Params;
 using rnt::workload::Result;
 using rnt::workload::RunMixed;
+using rnt::txn::EngineMode;
+using rnt::txn::TransactionManager;
+
+/// Engine skeleton used by the google-benchmark path; set via --engine=.
+EngineMode g_engine_mode = EngineMode::kSharded;
 
 Params MakeParams(double theta) {
   Params p;
@@ -33,6 +53,12 @@ Params MakeParams(double theta) {
 }
 
 constexpr int kTxnsPerWorker = 40;
+
+TransactionManager::Options EngineOptions() {
+  TransactionManager::Options opt;
+  opt.mode = g_engine_mode;
+  return opt;
+}
 
 void Report(benchmark::State& state, const Result& total,
             std::uint64_t runs) {
@@ -53,7 +79,7 @@ void BM_Nested(benchmark::State& state) {
   Result total;
   std::uint64_t runs = 0;
   for (auto _ : state) {
-    rnt::txn::TransactionManager engine;
+    TransactionManager engine(EngineOptions());
     total.MergeFrom(RunMixed(engine, p, workers, kTxnsPerWorker, 17));
     ++runs;
   }
@@ -72,7 +98,7 @@ void BM_NestedParallel(benchmark::State& state) {
   Result total;
   std::uint64_t runs = 0;
   for (auto _ : state) {
-    rnt::txn::TransactionManager engine;
+    TransactionManager engine(EngineOptions());
     total.MergeFrom(RunMixed(engine, p, workers, kTxnsPerWorker, 17));
     ++runs;
   }
@@ -117,6 +143,128 @@ BENCHMARK(BM_Flat)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.3);
 
+// ---------------------------------------------------------------------
+// E11: thread-count sweep, sharded vs global-mutex, JSON on stdout.
+
+struct SweepPoint {
+  double txn_per_s = 0;
+  double attempts_per_commit = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t lock_waits = 0;
+  std::uint64_t deadlock_aborts = 0;
+  std::uint64_t timeout_aborts = 0;
+};
+
+SweepPoint RunSweepCell(EngineMode mode, const Params& p, int workers,
+                        int seeds) {
+  SweepPoint pt;
+  Result total;
+  double elapsed = 0;
+  TransactionManager::Options opt;
+  opt.mode = mode;
+  for (int s = 0; s < seeds; ++s) {
+    TransactionManager engine(opt);
+    const auto t0 = std::chrono::steady_clock::now();
+    total.MergeFrom(
+        RunMixed(engine, p, workers, kTxnsPerWorker, 17 + 1000u * s));
+    elapsed += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count();
+    const auto stats = engine.stats();
+    pt.lock_waits += stats.lock_waits;
+    pt.deadlock_aborts += stats.deadlock_aborts;
+    pt.timeout_aborts += stats.timeout_aborts;
+  }
+  pt.committed = total.committed;
+  pt.txn_per_s =
+      elapsed > 0 ? static_cast<double>(total.committed) / elapsed : 0;
+  pt.attempts_per_commit =
+      total.committed == 0
+          ? 0.0
+          : static_cast<double>(total.txn_attempts) / total.committed;
+  return pt;
+}
+
+int RunSweepJson() {
+  constexpr int kSeeds = 5;
+  const int kWorkers[] = {1, 2, 4, 8};
+  struct Arm {
+    const char* name;
+    double theta;
+  };
+  const Arm kArms[] = {{"low", 0.0}, {"high", 0.9}};
+  struct EngineDesc {
+    const char* name;
+    EngineMode mode;
+  };
+  const EngineDesc kEngines[] = {{"sharded", EngineMode::kSharded},
+                                 {"global-mutex", EngineMode::kGlobalMutex}};
+
+  std::printf("{\"bench\":\"concurrency\",\"txns_per_worker\":%d,"
+              "\"seeds\":%d,\"objects\":48,\"work_us_per_access\":200,",
+              kTxnsPerWorker, kSeeds);
+  std::printf("\"trajectory\":[");
+  double at8[2][2] = {{0, 0}, {0, 0}};  // [arm][engine] txn/s at 8 workers
+  bool first = true;
+  for (int a = 0; a < 2; ++a) {
+    const Params p = MakeParams(kArms[a].theta);
+    for (int e = 0; e < 2; ++e) {
+      for (int workers : kWorkers) {
+        const SweepPoint pt =
+            RunSweepCell(kEngines[e].mode, p, workers, kSeeds);
+        if (workers == 8) at8[a][e] = pt.txn_per_s;
+        std::printf(
+            "%s{\"contention\":\"%s\",\"engine\":\"%s\",\"threads\":%d,"
+            "\"txn_per_s\":%.1f,\"committed\":%llu,"
+            "\"attempts_per_commit\":%.3f,\"lock_waits\":%llu,"
+            "\"deadlock_aborts\":%llu,\"timeout_aborts\":%llu}",
+            first ? "" : ",", kArms[a].name, kEngines[e].name, workers,
+            pt.txn_per_s, static_cast<unsigned long long>(pt.committed),
+            pt.attempts_per_commit,
+            static_cast<unsigned long long>(pt.lock_waits),
+            static_cast<unsigned long long>(pt.deadlock_aborts),
+            static_cast<unsigned long long>(pt.timeout_aborts));
+        first = false;
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("],\"speedup_at_8_threads\":{");
+  std::printf("\"low\":%.2f,\"high\":%.2f}}\n",
+              at8[0][1] > 0 ? at8[0][0] / at8[0][1] : 0.0,
+              at8[1][1] > 0 ? at8[1][0] / at8[1][1] : 0.0);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool sweep = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sweep_json") {
+      sweep = true;
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      const std::string name = arg.substr(std::strlen("--engine="));
+      if (name == "global-mutex") {
+        g_engine_mode = EngineMode::kGlobalMutex;
+      } else if (name == "sharded") {
+        g_engine_mode = EngineMode::kSharded;
+      } else {
+        std::fprintf(stderr, "unknown --engine=%s (want sharded|global-mutex)\n",
+                     name.c_str());
+        return 2;
+      }
+    } else {
+      argv[out++] = argv[i];  // leave the rest for google-benchmark
+    }
+  }
+  argc = out;
+  if (sweep) return RunSweepJson();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,11 @@ std::string_view LockModeName(LockMode m) {
   return m == LockMode::kRead ? "read" : "write";
 }
 
+LockManager::LockManager(const Ancestry* ancestry, Options options)
+    : ancestry_(ancestry),
+      options_(options),
+      shards_(std::max<std::uint32_t>(1, options.shards)) {}
+
 bool LockManager::Conflicts(const ObjectLocks& locks, TxnId t, LockMode mode,
                             std::vector<TxnId>* out) const {
   bool any = false;
@@ -29,97 +34,188 @@ bool LockManager::Conflicts(const ObjectLocks& locks, TxnId t, LockMode mode,
   return any;
 }
 
-bool LockManager::TryAcquire(ObjectId x, TxnId t, LockMode mode) {
-  mode = Effective(mode);
-  ObjectLocks& locks = objects_[x];
-  if (Conflicts(locks, t, mode, nullptr)) return false;
-  ModeSet& ms = locks.holders[t];
+void LockManager::Grant(Shard& shard, ObjectId x, TxnId t, LockMode mode) {
+  ModeSet& ms = shard.objects[x].holders[t];
   if (mode == LockMode::kRead) {
     ms.read = true;
   } else {
     ms.write = true;
   }
-  touched_[t].insert(x);
+  shard.touched[t].insert(x);
+}
+
+void LockManager::NotifyObject(Shard& shard, ObjectId x) {
+  auto it = shard.waits.find(x);
+  if (it == shard.waits.end()) return;
+  ++it->second.version;
+  it->second.cv.notify_all();
+}
+
+bool LockManager::TryAcquire(ObjectId x, TxnId t, LockMode mode) {
+  mode = Effective(mode);
+  Shard& shard = ShardFor(x);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  if (auto it = shard.objects.find(x); it != shard.objects.end()) {
+    if (Conflicts(it->second, t, mode, nullptr)) return false;
+  }
+  Grant(shard, x, t, mode);
   return true;
 }
 
 std::vector<TxnId> LockManager::Blockers(ObjectId x, TxnId t,
                                          LockMode mode) const {
   std::vector<TxnId> out;
-  auto it = objects_.find(x);
-  if (it == objects_.end()) return out;
+  const Shard& shard = ShardFor(x);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.objects.find(x);
+  if (it == shard.objects.end()) return out;
   Conflicts(it->second, t, Effective(mode), &out);
   return out;
 }
 
-void LockManager::OnCommit(TxnId t, TxnId parent) {
-  auto it = touched_.find(t);
-  if (it == touched_.end()) return;
-  for (ObjectId x : it->second) {
-    auto ot = objects_.find(x);
-    if (ot == objects_.end()) continue;
-    ObjectLocks& locks = ot->second;
-    ModeSet merged;
-    if (auto h = locks.holders.find(t); h != locks.holders.end()) {
-      merged.Merge(h->second);
-      locks.holders.erase(h);
-    }
-    if (auto r = locks.retainers.find(t); r != locks.retainers.end()) {
-      merged.Merge(r->second);
-      locks.retainers.erase(r);
-    }
-    if (merged.Any() && parent != kNoTxn) {
-      locks.retainers[parent].Merge(merged);
-      touched_[parent].insert(x);
-    }
-    if (locks.Empty()) objects_.erase(ot);
+LockManager::AcquireResult LockManager::AcquireOrEnqueue(ObjectId x, TxnId t,
+                                                         LockMode mode) {
+  mode = Effective(mode);
+  Shard& shard = ShardFor(x);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  AcquireResult result;
+  auto it = shard.objects.find(x);
+  if (it == shard.objects.end() ||
+      !Conflicts(it->second, t, mode, &result.blockers)) {
+    Grant(shard, x, t, mode);
+    result.acquired = true;
+    result.blockers.clear();
+    return result;
   }
-  touched_.erase(t);
+  // Conflict: register on x's wait queue in the same critical section, so
+  // a release between the failed check and WaitOn still bumps our ticket.
+  WaitPoint& wp = shard.waits[x];
+  ++wp.waiters;
+  result.ticket = wp.version;
+  return result;
+}
+
+bool LockManager::WaitOn(ObjectId x, std::uint64_t ticket,
+                         std::chrono::steady_clock::time_point deadline) {
+  Shard& shard = ShardFor(x);
+  std::unique_lock<std::mutex> lk(shard.mu);
+  auto it = shard.waits.find(x);
+  if (it == shard.waits.end()) return true;  // queue already moved & drained
+  WaitPoint& wp = it->second;
+  bool moved = true;
+  while (wp.version == ticket) {
+    if (wp.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+      moved = wp.version != ticket;
+      break;
+    }
+  }
+  if (--wp.waiters == 0) shard.waits.erase(it);
+  return moved;
+}
+
+void LockManager::CancelWait(ObjectId x) {
+  Shard& shard = ShardFor(x);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.waits.find(x);
+  if (it == shard.waits.end()) return;
+  if (--it->second.waiters == 0) shard.waits.erase(it);
+}
+
+void LockManager::Poke(ObjectId x) {
+  Shard& shard = ShardFor(x);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  NotifyObject(shard, x);
+}
+
+void LockManager::OnCommit(TxnId t, TxnId parent) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.touched.find(t);
+    if (it == shard.touched.end()) continue;
+    for (ObjectId x : it->second) {
+      auto ot = shard.objects.find(x);
+      if (ot == shard.objects.end()) continue;
+      ObjectLocks& locks = ot->second;
+      ModeSet merged;
+      if (auto h = locks.holders.find(t); h != locks.holders.end()) {
+        merged.Merge(h->second);
+        locks.holders.erase(h);
+      }
+      if (auto r = locks.retainers.find(t); r != locks.retainers.end()) {
+        merged.Merge(r->second);
+        locks.retainers.erase(r);
+      }
+      if (merged.Any() && parent != kNoTxn) {
+        locks.retainers[parent].Merge(merged);
+        shard.touched[parent].insert(x);
+      }
+      if (locks.Empty()) shard.objects.erase(ot);
+      // Inheritance can unblock the retainer's descendants (and a
+      // top-level commit unblocks everyone): wake x's waiters.
+      NotifyObject(shard, x);
+    }
+    shard.touched.erase(t);
+  }
 }
 
 void LockManager::OnAbort(TxnId t) {
-  auto it = touched_.find(t);
-  if (it == touched_.end()) return;
-  for (ObjectId x : it->second) {
-    auto ot = objects_.find(x);
-    if (ot == objects_.end()) continue;
-    ot->second.holders.erase(t);
-    ot->second.retainers.erase(t);
-    if (ot->second.Empty()) objects_.erase(ot);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.touched.find(t);
+    if (it == shard.touched.end()) continue;
+    for (ObjectId x : it->second) {
+      auto ot = shard.objects.find(x);
+      if (ot == shard.objects.end()) continue;
+      ot->second.holders.erase(t);
+      ot->second.retainers.erase(t);
+      if (ot->second.Empty()) shard.objects.erase(ot);
+      NotifyObject(shard, x);
+    }
+    shard.touched.erase(t);
   }
-  touched_.erase(t);
 }
 
 bool LockManager::Holds(ObjectId x, TxnId t, LockMode mode) const {
-  auto it = objects_.find(x);
-  if (it == objects_.end()) return false;
+  const Shard& shard = ShardFor(x);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.objects.find(x);
+  if (it == shard.objects.end()) return false;
   auto h = it->second.holders.find(t);
   if (h == it->second.holders.end()) return false;
   return mode == LockMode::kRead ? h->second.read : h->second.write;
 }
 
 bool LockManager::Retains(ObjectId x, TxnId t, LockMode mode) const {
-  auto it = objects_.find(x);
-  if (it == objects_.end()) return false;
+  const Shard& shard = ShardFor(x);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.objects.find(x);
+  if (it == shard.objects.end()) return false;
   auto r = it->second.retainers.find(t);
   if (r == it->second.retainers.end()) return false;
   return mode == LockMode::kRead ? r->second.read : r->second.write;
 }
 
 std::size_t LockManager::HolderCount(ObjectId x) const {
-  auto it = objects_.find(x);
-  return it == objects_.end() ? 0 : it->second.holders.size();
+  const Shard& shard = ShardFor(x);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.objects.find(x);
+  return it == shard.objects.end() ? 0 : it->second.holders.size();
 }
 
 std::size_t LockManager::RetainerCount(ObjectId x) const {
-  auto it = objects_.find(x);
-  return it == objects_.end() ? 0 : it->second.retainers.size();
+  const Shard& shard = ShardFor(x);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.objects.find(x);
+  return it == shard.objects.end() ? 0 : it->second.retainers.size();
 }
 
 std::size_t LockManager::RecordCount() const {
   std::size_t n = 0;
-  for (const auto& [x, locks] : objects_) {
-    n += locks.holders.size() + locks.retainers.size();
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [x, locks] : shard.objects) {
+      n += locks.holders.size() + locks.retainers.size();
+    }
   }
   return n;
 }

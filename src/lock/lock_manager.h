@@ -1,8 +1,11 @@
 #ifndef RNT_LOCK_LOCK_MANAGER_H_
 #define RNT_LOCK_LOCK_MANAGER_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -29,7 +32,9 @@ enum class LockMode : std::uint8_t { kRead = 0, kWrite = 1 };
 std::string_view LockModeName(LockMode m);
 
 /// Ancestry oracle the lock manager consults; implemented by the
-/// transaction manager over its live transaction tree.
+/// transaction manager over its live transaction tree. Must be safe to
+/// call concurrently (the sharded engine backs it with an immutable
+/// ancestor path per transaction).
 class Ancestry {
  public:
   virtual ~Ancestry() = default;
@@ -57,18 +62,25 @@ class Ancestry {
 /// descendants may touch it. Holding vs retaining matters for *re*-holding
 /// by the same transaction and for bookkeeping symmetry with the paper.
 ///
-/// The lock manager is pure bookkeeping — no blocking, no threads. The
-/// transaction manager serializes calls and implements waiting, deadlock
-/// detection, and victim selection on top of TryAcquire/Blockers.
+/// The lock table is sharded by object: each shard has its own mutex, its
+/// own slice of the table, and per-object wait queues. Callers that want
+/// blocking acquisition use AcquireOrEnqueue/WaitOn — a failed attempt
+/// registers the caller on the object's wait queue under the same shard
+/// lock (no lost-wakeup window), and every release on that object bumps
+/// the queue's version and notifies exactly its waiters. Deadlock
+/// detection and victim selection stay in the transaction manager, built
+/// on Blockers().
 class LockManager {
  public:
   struct Options {
     /// Paper's simplified variant: treat every acquisition as WRITE.
     bool single_mode = false;
+    /// Number of lock-table shards (>= 1). One shard reproduces the
+    /// seed's fully serialized table.
+    std::uint32_t shards = 16;
   };
 
-  LockManager(const Ancestry* ancestry, Options options)
-      : ancestry_(ancestry), options_(options) {}
+  LockManager(const Ancestry* ancestry, Options options);
   explicit LockManager(const Ancestry* ancestry)
       : LockManager(ancestry, Options{}) {}
 
@@ -84,12 +96,41 @@ class LockManager {
   /// the wait-for graph.
   std::vector<TxnId> Blockers(ObjectId x, TxnId t, LockMode mode) const;
 
+  /// One blocking-acquisition attempt. On success, the hold is recorded.
+  /// On conflict, the caller is atomically registered on x's wait queue
+  /// (same shard critical section — a release cannot slip between the
+  /// failed check and the registration) and gets back the queue ticket to
+  /// pass to WaitOn, plus the blocker set for the wait-for graph. Every
+  /// failed call must be balanced by exactly one WaitOn or CancelWait.
+  struct AcquireResult {
+    bool acquired = false;
+    std::uint64_t ticket = 0;        // valid iff !acquired
+    std::vector<TxnId> blockers;     // valid iff !acquired
+  };
+  AcquireResult AcquireOrEnqueue(ObjectId x, TxnId t, LockMode mode);
+
+  /// Blocks until x's wait queue moves past `ticket` (some lock on x was
+  /// released, inherited, or poked) or `deadline` passes. Deregisters the
+  /// caller from the queue before returning. Returns true if the queue
+  /// moved (retry the acquisition), false on timeout.
+  bool WaitOn(ObjectId x, std::uint64_t ticket,
+              std::chrono::steady_clock::time_point deadline);
+
+  /// Deregisters a waiter enqueued by a failed AcquireOrEnqueue without
+  /// waiting (e.g. the caller became a deadlock victim).
+  void CancelWait(ObjectId x);
+
+  /// Wakes x's waiters without changing lock state. Used to kick a
+  /// blocked transaction that was aborted from another thread.
+  void Poke(ObjectId x);
+
   /// Lock inheritance on commit: everything `t` holds or retains is
   /// merged into `parent`'s retained set. A top-level commit
-  /// (parent == kNoTxn) releases the locks outright.
+  /// (parent == kNoTxn) releases the locks outright. Waiters of every
+  /// affected object are woken (targeted, per object).
   void OnCommit(TxnId t, TxnId parent);
 
-  /// Lock discard on abort.
+  /// Lock discard on abort. Waiters of every affected object are woken.
   void OnAbort(TxnId t);
 
   // Introspection (tests, benches).
@@ -100,6 +141,12 @@ class LockManager {
   /// Total number of (object, txn) lock records — the lock-table
   /// footprint reported by bench_nesting_depth.
   std::size_t RecordCount() const;
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  /// Which shard `x` lives on (tests use this to build cross-shard and
+  /// same-shard scenarios deliberately).
+  std::size_t ShardOf(ObjectId x) const { return ShardIndex(x); }
 
  private:
   struct ModeSet {
@@ -116,6 +163,31 @@ class LockManager {
     std::map<TxnId, ModeSet> retainers;
     bool Empty() const { return holders.empty() && retainers.empty(); }
   };
+  /// Wait queue of one object: `version` advances on every release/poke,
+  /// `waiters` counts registered acquirers. Exists only while waiters are
+  /// registered (std::map keeps nodes stable while the cv is in use).
+  struct WaitPoint {
+    std::uint64_t version = 1;
+    std::uint32_t waiters = 0;
+    std::condition_variable cv;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<ObjectId, ObjectLocks> objects;
+    /// Per-transaction index of touched objects *in this shard*, for
+    /// O(touched) commit/abort without scanning the table.
+    std::map<TxnId, std::set<ObjectId>> touched;
+    std::map<ObjectId, WaitPoint> waits;
+  };
+
+  std::size_t ShardIndex(ObjectId x) const {
+    // Fibonacci hashing spreads consecutive object ids across shards.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ull) >> 40) %
+           shards_.size();
+  }
+  Shard& ShardFor(ObjectId x) { return shards_[ShardIndex(x)]; }
+  const Shard& ShardFor(ObjectId x) const { return shards_[ShardIndex(x)]; }
 
   LockMode Effective(LockMode m) const {
     return options_.single_mode ? LockMode::kWrite : m;
@@ -125,12 +197,14 @@ class LockManager {
   /// whether any conflict exists.
   bool Conflicts(const ObjectLocks& locks, TxnId t, LockMode mode,
                  std::vector<TxnId>* out) const;
+  /// Records the hold; requires the shard lock held and no conflicts.
+  void Grant(Shard& shard, ObjectId x, TxnId t, LockMode mode);
+  /// Bumps x's wait queue and wakes its waiters (shard lock held).
+  static void NotifyObject(Shard& shard, ObjectId x);
 
   const Ancestry* ancestry_;
   Options options_;
-  std::map<ObjectId, ObjectLocks> objects_;
-  /// Per-transaction index of touched objects, for O(touched) commit/abort.
-  std::map<TxnId, std::set<ObjectId>> touched_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace rnt::lock

@@ -1,0 +1,314 @@
+#include "txn/global_engine.h"
+
+#include <algorithm>
+
+namespace rnt::txn::internal {
+
+using lock::kNoTxn;
+using lock::TxnId;
+
+GlobalEngine::GlobalEngine(TransactionManager::Options options)
+    : options_(options),
+      locks_(this, lock::LockManager::Options{options.single_mode_locks,
+                                              /*shards=*/1}) {}
+
+bool GlobalEngine::IsAncestor(TxnId anc, TxnId desc) const {
+  if (anc == kNoTxn) return true;
+  for (TxnId c = desc; c != kNoTxn;) {
+    if (c == anc) return true;
+    auto it = txns_.find(c);
+    if (it == txns_.end()) return false;
+    c = it->second.parent;
+  }
+  return false;
+}
+
+TxnId GlobalEngine::BeginTop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Top-level begin cannot fail (the virtual root never dies).
+  return *BeginLocked(kNoTxn);
+}
+
+StatusOr<TxnId> GlobalEngine::BeginChild(TxnId parent) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return BeginLocked(parent);
+}
+
+StatusOr<Value> GlobalEngine::Access(TxnId t, ObjectId x,
+                                     const action::Update& update) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return AccessLocked(lk, t, x, update);
+}
+
+Status GlobalEngine::Commit(TxnId t) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return CommitLocked(t);
+}
+
+Status GlobalEngine::Abort(TxnId t) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return AbortLocked(t, /*cascading=*/false);
+}
+
+Value GlobalEngine::ReadCommitted(ObjectId x) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = committed_.find(x);
+  return it == committed_.end() ? action::kInitValue : it->second;
+}
+
+Trace GlobalEngine::TakeTrace() {
+  std::unique_lock<std::mutex> lk(mu_);
+  Trace out = std::move(trace_);
+  trace_.events.clear();
+  return out;
+}
+
+TransactionManager::Stats GlobalEngine::stats() const {
+  std::unique_lock<std::mutex> lk(mu_);
+  return stats_;
+}
+
+StatusOr<TxnId> GlobalEngine::BeginLocked(TxnId parent) {
+  if (parent != kNoTxn) {
+    auto it = txns_.find(parent);
+    if (it == txns_.end() || it->second.state != TxnState::kActive) {
+      return Status::Aborted("parent transaction is not active");
+    }
+  }
+  TxnId id = next_id_++;
+  TxnInfo info;
+  info.parent = parent;
+  txns_.emplace(id, std::move(info));
+  if (parent != kNoTxn) {
+    TxnInfo& p = txns_.at(parent);
+    p.children.push_back(id);
+    ++p.open_children;
+  }
+  ++stats_.begun;
+  if (options_.record_trace) {
+    trace_.events.push_back(
+        TraceEvent{TraceEvent::Kind::kBegin, id, parent, 0, {}, 0});
+  }
+  return id;
+}
+
+Value GlobalEngine::VisibleValueLocked(ObjectId x, TxnId t) const {
+  // The engine's value map: the nearest ancestor holding a private
+  // version, else the committed store, else init (the paper's principal
+  // value of x).
+  auto ox = uncommitted_.find(x);
+  if (ox != uncommitted_.end()) {
+    for (TxnId c = t; c != kNoTxn;) {
+      auto v = ox->second.find(c);
+      if (v != ox->second.end()) return v->second;
+      auto it = txns_.find(c);
+      if (it == txns_.end()) break;
+      c = it->second.parent;
+    }
+  }
+  auto cit = committed_.find(x);
+  return cit == committed_.end() ? action::kInitValue : cit->second;
+}
+
+std::vector<TxnId> GlobalEngine::DeadlockCycleLocked(TxnId start) const {
+  // Wait-for reachability over the nested-transaction dependency
+  // structure: t waits for blocker q; q cannot release until its whole
+  // subtree completes, so t transitively waits on every *waiting*
+  // descendant of q. DFS with predecessor tracking so the cycle can be
+  // reconstructed for deterministic victim selection.
+  std::map<TxnId, TxnId> pred;
+  std::vector<TxnId> stack{start};
+  std::set<TxnId> visited{start};
+  while (!stack.empty()) {
+    TxnId c = stack.back();
+    stack.pop_back();
+    auto wit = waiting_.find(c);
+    if (wit == waiting_.end()) continue;
+    for (TxnId q : wit->second) {
+      for (const auto& [w, edges] : waiting_) {
+        if (!IsAncestor(q, w)) continue;
+        if (w == start) {
+          std::vector<TxnId> cycle;
+          for (TxnId p = c;; p = pred.at(p)) {
+            cycle.push_back(p);
+            if (p == start) break;
+          }
+          return cycle;
+        }
+        if (visited.insert(w).second) {
+          pred[w] = c;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+  return {};
+}
+
+StatusOr<Value> GlobalEngine::AccessLocked(std::unique_lock<std::mutex>& lk,
+                                           TxnId t, ObjectId x,
+                                           const action::Update& update) {
+  const lock::LockMode mode =
+      update.IsRead() ? lock::LockMode::kRead : lock::LockMode::kWrite;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.lock_wait_timeout;
+  bool waited = false;
+  for (;;) {
+    auto it = txns_.find(t);
+    if (it == txns_.end() || it->second.state != TxnState::kActive) {
+      waiting_.erase(t);
+      bool dl = it != txns_.end() && it->second.deadlock_victim;
+      return Status::Aborted(dl ? "deadlock victim"
+                                : "transaction is not active");
+    }
+    if (locks_.TryAcquire(x, t, mode)) break;
+    if (!waited) {
+      waited = true;
+      ++stats_.lock_waits;
+    }
+    waiting_[t] = locks_.Blockers(x, t, mode);
+    if (options_.deadlock_detection) {
+      std::vector<TxnId> cycle = DeadlockCycleLocked(t);
+      if (!cycle.empty()) {
+        // Deterministic victim: the youngest (largest id) waiter on the
+        // cycle, so a fixed-seed run always kills the same transaction.
+        TxnId victim = *std::max_element(cycle.begin(), cycle.end());
+        ++stats_.deadlock_aborts;
+        if (victim == t) {
+          waiting_.erase(t);
+          (void)AbortLocked(t, /*cascading=*/false);
+          return Status::Aborted("deadlock victim");
+        }
+        txns_.at(victim).deadlock_victim = true;
+        (void)AbortLocked(victim, /*cascading=*/false);
+        // The victim's released locks may admit us now; retry without
+        // waiting (AbortLocked already broadcast to wake the victim).
+        continue;
+      }
+    }
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      waiting_.erase(t);
+      auto it2 = txns_.find(t);
+      if (it2 != txns_.end() && it2->second.state == TxnState::kActive) {
+        ++stats_.timeout_aborts;
+        (void)AbortLocked(t, /*cascading=*/false);
+        return Status::Timeout("lock wait timed out");
+      }
+      return Status::Aborted("transaction is not active");
+    }
+    waiting_.erase(t);
+  }
+  waiting_.erase(t);
+  ++stats_.accesses;
+  Value seen = VisibleValueLocked(x, t);
+  if (!update.IsRead()) {
+    uncommitted_[x][t] = update.Apply(seen);
+    txns_.at(t).written.insert(x);
+  }
+  if (options_.record_trace) {
+    trace_.events.push_back(
+        TraceEvent{TraceEvent::Kind::kPerform, next_id_++, t, x, update,
+                   seen});
+  }
+  return seen;
+}
+
+Status GlobalEngine::CommitLocked(TxnId t) {
+  auto it = txns_.find(t);
+  if (it == txns_.end()) return Status::Aborted("transaction is gone");
+  TxnInfo& info = it->second;
+  if (info.state == TxnState::kAborted) {
+    return Status::Aborted("transaction was aborted");
+  }
+  if (info.state == TxnState::kCommitted) {
+    return Status::IllegalState("transaction already committed");
+  }
+  if (info.open_children != 0) {
+    return Status::IllegalState("commit with open subtransactions");
+  }
+  const TxnId parent = info.parent;
+  // Version propagation: each private value moves to the parent (or to
+  // the durable store for a top-level commit) — release-lock's effect.
+  for (ObjectId x : info.written) {
+    auto& entry = uncommitted_.at(x);
+    Value v = entry.at(t);
+    entry.erase(t);
+    if (parent == kNoTxn) {
+      committed_[x] = v;
+    } else {
+      entry[parent] = v;
+      txns_.at(parent).written.insert(x);
+    }
+    if (entry.empty()) uncommitted_.erase(x);
+  }
+  info.written.clear();
+  locks_.OnCommit(t, parent);
+  info.state = TxnState::kCommitted;
+  if (parent != kNoTxn) --txns_.at(parent).open_children;
+  ++stats_.committed;
+  if (options_.record_trace) {
+    trace_.events.push_back(
+        TraceEvent{TraceEvent::Kind::kCommit, t, parent, 0, {}, 0});
+  }
+  if (parent == kNoTxn) {
+    // Garbage-collect the completed top-level subtree: every descendant
+    // is done (open_children was 0 transitively), so no lock, version, or
+    // ancestry query can mention these ids again.
+    std::vector<TxnId> doomed{t};
+    for (std::size_t i = 0; i < doomed.size(); ++i) {
+      auto dit = txns_.find(doomed[i]);
+      if (dit == txns_.end()) continue;
+      doomed.insert(doomed.end(), dit->second.children.begin(),
+                    dit->second.children.end());
+    }
+    for (TxnId d : doomed) txns_.erase(d);
+  }
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+Status GlobalEngine::AbortLocked(TxnId t, bool cascading) {
+  auto it = txns_.find(t);
+  if (it == txns_.end() || it->second.state != TxnState::kActive) {
+    return Status::Ok();  // idempotent on dead/unknown transactions
+  }
+  // Kill live descendants first (post-order), mirroring the cascade with
+  // one abort event per vertex.
+  std::vector<TxnId> kids = it->second.children;
+  for (TxnId c : kids) {
+    (void)AbortLocked(c, /*cascading=*/true);
+  }
+  TxnInfo& info = txns_.at(t);
+  for (ObjectId x : info.written) {
+    auto ox = uncommitted_.find(x);
+    if (ox != uncommitted_.end()) {
+      ox->second.erase(t);
+      if (ox->second.empty()) uncommitted_.erase(ox);
+    }
+  }
+  info.written.clear();
+  locks_.OnAbort(t);
+  info.state = TxnState::kAborted;
+  waiting_.erase(t);
+  if (info.parent != kNoTxn) --txns_.at(info.parent).open_children;
+  ++stats_.aborted;
+  if (cascading) ++stats_.cascade_aborts;
+  if (options_.record_trace) {
+    trace_.events.push_back(
+        TraceEvent{TraceEvent::Kind::kAbort, t, info.parent, 0, {}, 0});
+  }
+  if (info.parent == kNoTxn) {
+    std::vector<TxnId> doomed{t};
+    for (std::size_t i = 0; i < doomed.size(); ++i) {
+      auto dit = txns_.find(doomed[i]);
+      if (dit == txns_.end()) continue;
+      doomed.insert(doomed.end(), dit->second.children.begin(),
+                    dit->second.children.end());
+    }
+    for (TxnId d : doomed) txns_.erase(d);
+  }
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+}  // namespace rnt::txn::internal

@@ -1,0 +1,87 @@
+#ifndef RNT_TXN_GLOBAL_ENGINE_H_
+#define RNT_TXN_GLOBAL_ENGINE_H_
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "txn/engine_core.h"
+
+namespace rnt::txn::internal {
+
+/// The seed engine: one global mutex guards all state, blocked acquirers
+/// wait on a single condition variable and are woken by every
+/// commit/abort (broadcast). Kept verbatim behind
+/// EngineMode::kGlobalMutex so the sharded engine's speedup is measured
+/// against the real thing, not a strawman — and as a bisection aid if
+/// the sharded path ever misbehaves.
+///
+/// The one deliberate change from the seed: deadlock victim selection is
+/// deterministic (the youngest — largest-id — transaction on the
+/// detected cycle), matching the sharded engine, so stress failures and
+/// benchmarks reproduce under a fixed seed.
+class GlobalEngine final : public EngineCore, private lock::Ancestry {
+ public:
+  explicit GlobalEngine(TransactionManager::Options options);
+  ~GlobalEngine() override = default;
+
+  lock::TxnId BeginTop() override;
+  StatusOr<lock::TxnId> BeginChild(lock::TxnId parent) override;
+  StatusOr<Value> Access(lock::TxnId t, ObjectId x,
+                         const action::Update& update) override;
+  Status Commit(lock::TxnId t) override;
+  Status Abort(lock::TxnId t) override;
+
+  Value ReadCommitted(ObjectId x) override;
+  Trace TakeTrace() override;
+  TransactionManager::Stats stats() const override;
+
+ private:
+  enum class TxnState : std::uint8_t { kActive, kCommitted, kAborted };
+
+  struct TxnInfo {
+    lock::TxnId parent = lock::kNoTxn;
+    TxnState state = TxnState::kActive;
+    bool deadlock_victim = false;
+    std::uint32_t open_children = 0;
+    std::vector<lock::TxnId> children;
+    /// Objects whose value map carries an entry for this txn.
+    std::set<ObjectId> written;
+  };
+
+  // lock::Ancestry (called under mu_).
+  bool IsAncestor(lock::TxnId anc, lock::TxnId desc) const override;
+
+  // All private methods below require mu_ held.
+  StatusOr<lock::TxnId> BeginLocked(lock::TxnId parent);
+  Status CommitLocked(lock::TxnId t);
+  Status AbortLocked(lock::TxnId t, bool cascading);
+  StatusOr<Value> AccessLocked(std::unique_lock<std::mutex>& lk,
+                               lock::TxnId t, ObjectId x,
+                               const action::Update& update);
+  Value VisibleValueLocked(ObjectId x, lock::TxnId t) const;
+  /// The wait-for cycle through `start` (empty if none), as the list of
+  /// waiting transactions on it.
+  std::vector<lock::TxnId> DeadlockCycleLocked(lock::TxnId start) const;
+
+  TransactionManager::Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  lock::TxnId next_id_ = 1;
+  std::map<lock::TxnId, TxnInfo> txns_;
+  lock::LockManager locks_;
+  /// Committed top-level state (absent => init value 0).
+  std::map<ObjectId, Value> committed_;
+  /// Uncommitted versions: object -> (txn -> private value).
+  std::map<ObjectId, std::map<lock::TxnId, Value>> uncommitted_;
+  /// Wait-for edges of currently blocked acquirers.
+  std::map<lock::TxnId, std::vector<lock::TxnId>> waiting_;
+  Trace trace_;
+  TransactionManager::Stats stats_;
+};
+
+}  // namespace rnt::txn::internal
+
+#endif  // RNT_TXN_GLOBAL_ENGINE_H_

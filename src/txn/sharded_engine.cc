@@ -1,0 +1,422 @@
+#include "txn/sharded_engine.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rnt::txn::internal {
+
+using lock::kNoTxn;
+using lock::TxnId;
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+/// Wait slice when deadlock detection is off: just a wakeup-miss
+/// backstop (pokes and targeted notifies do the real waking).
+constexpr std::chrono::milliseconds kIdleSlice{100};
+}  // namespace
+
+ShardedEngine::ShardedEngine(TransactionManager::Options options)
+    : options_(options),
+      locks_(this, lock::LockManager::Options{
+                       options.single_mode_locks,
+                       std::max<std::uint32_t>(1, options.shards)}),
+      table_(std::max<std::uint32_t>(1, options.shards)),
+      store_(std::max<std::uint32_t>(1, options.shards)),
+      waits_(std::max<std::uint32_t>(1, options.shards)) {}
+
+bool ShardedEngine::IsAncestor(TxnId anc, TxnId desc) const {
+  if (anc == kNoTxn || anc == desc) return true;
+  auto rec = FindRec(desc);
+  if (!rec) return false;
+  return std::binary_search(rec->path.begin(), rec->path.end(), anc);
+}
+
+std::shared_ptr<ShardedEngine::TxnRec> ShardedEngine::FindRec(
+    TxnId t) const {
+  const TableShard& shard = table_[TxnShard(t)];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.recs.find(t);
+  return it == shard.recs.end() ? nullptr : it->second;
+}
+
+void ShardedEngine::InsertRec(const std::shared_ptr<TxnRec>& rec) {
+  TableShard& shard = table_[TxnShard(rec->id)];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  shard.recs.emplace(rec->id, rec);
+}
+
+void ShardedEngine::CollectSubtree(TxnRec* root) {
+  // The subtree is quiesced (root completed => every descendant
+  // completed), so children vectors are frozen; the record mutex is
+  // still taken for the read to keep the happens-before chain explicit.
+  std::vector<TxnRec*> all{root};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    std::lock_guard<std::mutex> lk(all[i]->mu);
+    for (TxnRec* c : all[i]->children) all.push_back(c);
+  }
+  for (TxnRec* r : all) {
+    TableShard& shard = table_[TxnShard(r->id)];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.recs.erase(r->id);
+  }
+}
+
+void ShardedEngine::RegisterWait(TxnId t, WaitEdge edge) {
+  WaitShard& shard = waits_[TxnShard(t)];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  shard.edges[t] = std::move(edge);
+}
+
+void ShardedEngine::UnregisterWait(TxnId t) {
+  WaitShard& shard = waits_[TxnShard(t)];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  shard.edges.erase(t);
+}
+
+std::optional<ObjectId> ShardedEngine::WaitingOn(TxnId t) const {
+  const WaitShard& shard = waits_[TxnShard(t)];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.edges.find(t);
+  if (it == shard.edges.end()) return std::nullopt;
+  return it->second.object;
+}
+
+std::map<TxnId, ShardedEngine::WaitEdge> ShardedEngine::WaitSnapshot()
+    const {
+  std::map<TxnId, WaitEdge> snap;
+  for (const WaitShard& shard : waits_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [t, e] : shard.edges) snap.emplace(t, e);
+  }
+  return snap;
+}
+
+Value ShardedEngine::StoreRead(ObjectId x) const {
+  const StoreShard& shard = store_[ObjShard(x)];
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.values.find(x);
+  return it == shard.values.end() ? action::kInitValue : it->second;
+}
+
+void ShardedEngine::AppendTrace(TraceEvent event) {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  trace_.events.push_back(std::move(event));
+}
+
+Value ShardedEngine::ReadCommitted(ObjectId x) { return StoreRead(x); }
+
+Trace ShardedEngine::TakeTrace() {
+  std::lock_guard<std::mutex> lk(trace_mu_);
+  Trace out = std::move(trace_);
+  trace_.events.clear();
+  return out;
+}
+
+TransactionManager::Stats ShardedEngine::stats() const {
+  TransactionManager::Stats s;
+  s.begun = begun_.load(kRelaxed);
+  s.committed = committed_.load(kRelaxed);
+  s.aborted = aborted_.load(kRelaxed);
+  s.deadlock_aborts = deadlock_aborts_.load(kRelaxed);
+  s.timeout_aborts = timeout_aborts_.load(kRelaxed);
+  s.cascade_aborts = cascade_aborts_.load(kRelaxed);
+  s.lock_waits = lock_waits_.load(kRelaxed);
+  s.accesses = accesses_.load(kRelaxed);
+  return s;
+}
+
+TxnId ShardedEngine::BeginTop() {
+  TxnId id = next_id_.fetch_add(1, kRelaxed);
+  auto rec = std::make_shared<TxnRec>(id, kNoTxn, std::vector<TxnId>{id},
+                                      nullptr);
+  InsertRec(rec);
+  begun_.fetch_add(1, kRelaxed);
+  if (options_.record_trace) {
+    AppendTrace(TraceEvent{TraceEvent::Kind::kBegin, id, kNoTxn, 0, {}, 0});
+  }
+  return id;
+}
+
+StatusOr<TxnId> ShardedEngine::BeginChild(TxnId parent) {
+  auto pr = FindRec(parent);
+  if (!pr) return Status::Aborted("parent transaction is not active");
+  std::lock_guard<std::mutex> plk(pr->mu);
+  if (pr->state != TxnState::kActive) {
+    return Status::Aborted("parent transaction is not active");
+  }
+  TxnId id = next_id_.fetch_add(1, kRelaxed);
+  std::vector<TxnId> path = pr->path;
+  path.push_back(id);
+  auto rec = std::make_shared<TxnRec>(id, parent, std::move(path), pr);
+  // Insert + link under the parent's mutex: the abort cascade marks the
+  // parent kAborting under the same mutex, so a new child either lands
+  // before the mark (and is visited) or the begin fails above.
+  InsertRec(rec);
+  pr->children.push_back(rec.get());
+  ++pr->open_children;
+  begun_.fetch_add(1, kRelaxed);
+  if (options_.record_trace) {
+    AppendTrace(
+        TraceEvent{TraceEvent::Kind::kBegin, id, parent, 0, {}, 0});
+  }
+  return id;
+}
+
+Status ShardedEngine::DeadStatusLocked(const TxnRec& rec) {
+  if (rec.cause == AbortCause::kDeadlock) {
+    return Status::Aborted("deadlock victim");
+  }
+  return Status::Aborted("transaction is not active");
+}
+
+StatusOr<Value> ShardedEngine::RecordAccessChainLocked(
+    const std::vector<TxnRec*>& chain, ObjectId x,
+    const action::Update& update) {
+  TxnRec* rec = chain.front();  // chain is self..root
+  if (rec->state != TxnState::kActive) {
+    // Aborted (or committed via a stale handle) between the lock grant
+    // and the record: undo the grant — the cascade's OnAbort may have
+    // run before we acquired, leaving an orphan hold otherwise.
+    Status s = DeadStatusLocked(*rec);
+    locks_.OnAbort(rec->id);
+    return s;
+  }
+  accesses_.fetch_add(1, kRelaxed);
+  Value seen = action::kInitValue;
+  bool found = false;
+  for (TxnRec* r : chain) {
+    auto it = r->buffer.find(x);
+    if (it != r->buffer.end()) {
+      seen = it->second;
+      found = true;
+      break;
+    }
+  }
+  if (!found) seen = StoreRead(x);
+  if (!update.IsRead()) rec->buffer[x] = update.Apply(seen);
+  if (options_.record_trace) {
+    AppendTrace(TraceEvent{TraceEvent::Kind::kPerform,
+                           next_id_.fetch_add(1, kRelaxed), rec->id, x,
+                           update, seen});
+  }
+  return seen;
+}
+
+StatusOr<Value> ShardedEngine::Access(TxnId t, ObjectId x,
+                                      const action::Update& update) {
+  auto rec = FindRec(t);
+  if (!rec) return Status::Aborted("transaction is not active");
+  const lock::LockMode mode =
+      update.IsRead() ? lock::LockMode::kRead : lock::LockMode::kWrite;
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.lock_wait_timeout;
+  bool waited = false;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(rec->mu);
+      if (rec->state != TxnState::kActive) return DeadStatusLocked(*rec);
+    }
+    auto attempt = locks_.AcquireOrEnqueue(x, t, mode);
+    if (attempt.acquired) break;
+    if (!waited) {
+      waited = true;
+      lock_waits_.fetch_add(1, kRelaxed);
+    }
+    RegisterWait(t, WaitEdge{x, std::move(attempt.blockers)});
+    if (options_.deadlock_detection && ResolveDeadlockFrom(t)) {
+      // We are the victim; our subtree is already aborted.
+      UnregisterWait(t);
+      locks_.CancelWait(x);
+      return Status::Aborted("deadlock victim");
+    }
+    // Wait in slices: a targeted wakeup (release/poke on x) ends the
+    // wait early; the slice boundary re-runs deadlock detection.
+    const auto now = std::chrono::steady_clock::now();
+    const auto slice = options_.deadlock_detection
+                           ? options_.deadlock_check_interval
+                           : kIdleSlice;
+    const auto slice_end = std::min(deadline, now + slice);
+    bool moved = locks_.WaitOn(x, attempt.ticket, slice_end);
+    UnregisterWait(t);
+    if (!moved && std::chrono::steady_clock::now() >= deadline) {
+      {
+        std::lock_guard<std::mutex> lk(rec->mu);
+        if (rec->state != TxnState::kActive) return DeadStatusLocked(*rec);
+      }
+      timeout_aborts_.fetch_add(1, kRelaxed);
+      AbortAndCollect(rec.get(), AbortCause::kTimeout);
+      return Status::Timeout("lock wait timed out");
+    }
+  }
+  // Lock held. Lock the ancestor chain root-first (the global record
+  // ordering) so value read + buffer write + trace append are atomic
+  // against a child of ours committing its buffer into us.
+  std::vector<TxnRec*> chain;  // self..root
+  for (TxnRec* r = rec.get(); r != nullptr; r = r->parent_rec.get()) {
+    chain.push_back(r);
+  }
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    (*it)->mu.lock();
+  }
+  auto result = RecordAccessChainLocked(chain, x, update);
+  for (TxnRec* r : chain) r->mu.unlock();
+  return result;
+}
+
+Status ShardedEngine::Commit(TxnId t) {
+  auto rec = FindRec(t);
+  if (!rec) return Status::Aborted("transaction is gone");
+  std::shared_ptr<TxnRec> pr = rec->parent_rec;
+  {
+    // Parent before child — the global record ordering.
+    std::unique_lock<std::mutex> plk;
+    if (pr) plk = std::unique_lock<std::mutex>(pr->mu);
+    std::lock_guard<std::mutex> lk(rec->mu);
+    if (rec->state == TxnState::kAborted ||
+        rec->state == TxnState::kAborting) {
+      return Status::Aborted("transaction was aborted");
+    }
+    if (rec->state == TxnState::kCommitted) {
+      return Status::IllegalState("transaction already committed");
+    }
+    if (rec->open_children != 0) {
+      return Status::IllegalState("commit with open subtransactions");
+    }
+    if (pr && pr->state != TxnState::kActive) {
+      // Orphan: an ancestor is dead or dying; the cascade will emit our
+      // abort event, so do not commit into a doomed buffer.
+      return Status::Aborted("transaction was aborted");
+    }
+    // Version propagation (d24)/(e21): private values merge into the
+    // parent's buffer, or into the durable store for a top-level commit
+    // — before the commit event and before any lock is released, so a
+    // later acquirer of x observes the merged value.
+    if (pr) {
+      for (const auto& [x, v] : rec->buffer) pr->buffer[x] = v;
+    } else {
+      for (const auto& [x, v] : rec->buffer) {
+        StoreShard& shard = store_[ObjShard(x)];
+        std::lock_guard<std::mutex> slk(shard.mu);
+        shard.values[x] = v;
+      }
+    }
+    rec->buffer.clear();
+    rec->state = TxnState::kCommitted;
+    if (pr) --pr->open_children;
+    if (options_.record_trace) {
+      AppendTrace(
+          TraceEvent{TraceEvent::Kind::kCommit, t, rec->parent, 0, {}, 0});
+    }
+  }
+  // Lock inheritance + targeted wakeups (release-lock). Runs after the
+  // merge above: the shard mutex orders the release after the buffer
+  // write, so woken waiters see the merged values.
+  locks_.OnCommit(t, rec->parent);
+  committed_.fetch_add(1, kRelaxed);
+  if (!pr) CollectSubtree(rec.get());
+  return Status::Ok();
+}
+
+Status ShardedEngine::Abort(TxnId t) {
+  auto rec = FindRec(t);
+  if (!rec) return Status::Ok();  // idempotent on unknown transactions
+  AbortAndCollect(rec.get(), AbortCause::kRequested);
+  return Status::Ok();
+}
+
+bool ShardedEngine::AbortAndCollect(TxnRec* rec, AbortCause cause) {
+  bool transitioned = AbortTree(rec, cause);
+  if (transitioned && rec->parent == kNoTxn) CollectSubtree(rec);
+  return transitioned;
+}
+
+bool ShardedEngine::AbortTree(TxnRec* rec, AbortCause cause) {
+  std::vector<TxnRec*> kids;
+  {
+    std::lock_guard<std::mutex> lk(rec->mu);
+    if (rec->state != TxnState::kActive) {
+      return false;  // idempotent on dead transactions
+    }
+    // Mark first: freezes the children list and fails new accesses and
+    // commits, so the snapshot below covers the whole live subtree.
+    rec->state = TxnState::kAborting;
+    rec->cause = cause;
+    kids = rec->children;
+  }
+  // Kill live descendants first (post-order), one abort event each —
+  // the cascade's children-first event order that ReplayTrace enforces.
+  for (TxnRec* c : kids) {
+    AbortTree(c, AbortCause::kCascade);
+  }
+  {
+    std::lock_guard<std::mutex> lk(rec->mu);
+    rec->buffer.clear();  // (f21): discard private versions
+    rec->state = TxnState::kAborted;
+    if (options_.record_trace) {
+      AppendTrace(TraceEvent{TraceEvent::Kind::kAbort, rec->id,
+                             rec->parent, 0, {}, 0});
+    }
+  }
+  locks_.OnAbort(rec->id);  // lose-lock, with targeted wakeups
+  if (rec->parent_rec) {
+    std::lock_guard<std::mutex> plk(rec->parent_rec->mu);
+    --rec->parent_rec->open_children;
+  }
+  aborted_.fetch_add(1, kRelaxed);
+  if (cause == AbortCause::kCascade) cascade_aborts_.fetch_add(1, kRelaxed);
+  // If the transaction's thread is blocked on a lock, kick it awake so
+  // it observes the abort.
+  if (auto x = WaitingOn(rec->id)) locks_.Poke(*x);
+  return true;
+}
+
+bool ShardedEngine::ResolveDeadlockFrom(TxnId start) {
+  // Shard-by-shard snapshot: no stop-the-world. The snapshot may be
+  // slightly stale under churn — at worst a just-broken cycle aborts a
+  // victim spuriously, which is always a legal outcome.
+  const std::map<TxnId, WaitEdge> snap = WaitSnapshot();
+  // Wait-for reachability over the nested structure: t waits for blocker
+  // q; q cannot release until its subtree completes, so t transitively
+  // waits on every *waiting* descendant of q. DFS with predecessors so
+  // the cycle can be reconstructed.
+  std::map<TxnId, TxnId> pred;
+  std::vector<TxnId> stack{start};
+  std::set<TxnId> visited{start};
+  std::vector<TxnId> cycle;
+  while (!stack.empty() && cycle.empty()) {
+    TxnId c = stack.back();
+    stack.pop_back();
+    auto wit = snap.find(c);
+    if (wit == snap.end()) continue;
+    for (TxnId q : wit->second.blockers) {
+      for (const auto& [w, edge] : snap) {
+        if (!IsAncestor(q, w)) continue;
+        if (w == start) {
+          for (TxnId p = c;; p = pred.at(p)) {
+            cycle.push_back(p);
+            if (p == start) break;
+          }
+          break;
+        }
+        if (visited.insert(w).second) {
+          pred[w] = c;
+          stack.push_back(w);
+        }
+      }
+      if (!cycle.empty()) break;
+    }
+  }
+  if (cycle.empty()) return false;
+  // Deterministic victim: the youngest (largest id) waiter on the cycle,
+  // so a fixed-seed run always kills the same transaction.
+  const TxnId victim = *std::max_element(cycle.begin(), cycle.end());
+  auto vrec = FindRec(victim);
+  if (vrec) {
+    if (AbortAndCollect(vrec.get(), AbortCause::kDeadlock)) {
+      deadlock_aborts_.fetch_add(1, kRelaxed);
+    }
+  }
+  return victim == start;
+}
+
+}  // namespace rnt::txn::internal

@@ -1,0 +1,188 @@
+#ifndef RNT_TXN_SHARDED_ENGINE_H_
+#define RNT_TXN_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "txn/engine_core.h"
+
+namespace rnt::txn::internal {
+
+/// The fine-grained engine (EngineMode::kSharded, the default).
+///
+/// State is split so that unrelated transactions never contend:
+///  * the lock table is sharded by object inside lock::LockManager, with
+///    per-object wait queues — a release wakes exactly that object's
+///    waiters (no broadcast);
+///  * each transaction's private value-map versions live in its own
+///    record (TxnRec::buffer) guarded by a per-record mutex; commit
+///    merges child into parent under the parent's mutex only —
+///    (d24)/(e21) with parent-local locking;
+///  * the committed store, the transaction table, and the wait-for graph
+///    are sharded with per-shard mutexes; deadlock detection snapshots
+///    the wait graph shard by shard (no stop-the-world lock) and picks
+///    the youngest (largest-id) waiter on the cycle — deterministically.
+///
+/// Lock ordering (deadlock-freedom of the engine's own mutexes): record
+/// mutexes are only ever nested ancestor-before-descendant along one
+/// ancestor chain (Access locks root..self; Commit locks parent, child;
+/// the abort cascade holds at most one record mutex at a time). Lock
+/// shards, store shards, table shards, the wait graph, and the trace
+/// mutex are leaves below record mutexes; a lock shard may query the
+/// table (IsAncestor) but never a record mutex.
+///
+/// Why Access locks the whole ancestor chain: while t holds a lock on x,
+/// ancestor buffers for x are frozen (a committing subtree that wrote x
+/// would need a conflicting write lock), except t's own buffer, which a
+/// committing child of t may merge into concurrently. Holding the chain
+/// makes read-value + buffer-write + trace-append atomic against such
+/// merges, so recorded traces replay as valid value-map computations in
+/// trace order. Chains are per-tree: different top-level transactions
+/// share no record mutex, which is where multi-core scaling comes from.
+class ShardedEngine final : public EngineCore, public lock::Ancestry {
+ public:
+  explicit ShardedEngine(TransactionManager::Options options);
+  ~ShardedEngine() override = default;
+
+  lock::TxnId BeginTop() override;
+  StatusOr<lock::TxnId> BeginChild(lock::TxnId parent) override;
+  StatusOr<Value> Access(lock::TxnId t, ObjectId x,
+                         const action::Update& update) override;
+  Status Commit(lock::TxnId t) override;
+  Status Abort(lock::TxnId t) override;
+
+  Value ReadCommitted(ObjectId x) override;
+  Trace TakeTrace() override;
+  TransactionManager::Stats stats() const override;
+
+  // lock::Ancestry. Thread-safe: ancestor paths are immutable.
+  bool IsAncestor(lock::TxnId anc, lock::TxnId desc) const override;
+
+ private:
+  enum class TxnState : std::uint8_t {
+    kActive,
+    kAborting,  // abort in progress: no new children/accesses/commits
+    kCommitted,
+    kAborted
+  };
+  enum class AbortCause : std::uint8_t {
+    kNone,
+    kRequested,
+    kCascade,
+    kDeadlock,
+    kTimeout
+  };
+
+  struct TxnRec {
+    TxnRec(lock::TxnId id_in, lock::TxnId parent_in,
+           std::vector<lock::TxnId> path_in,
+           std::shared_ptr<TxnRec> parent_rec_in)
+        : id(id_in),
+          parent(parent_in),
+          path(std::move(path_in)),
+          parent_rec(std::move(parent_rec_in)) {}
+
+    const lock::TxnId id;
+    const lock::TxnId parent;
+    /// Ancestors + self, ascending (a parent's id is always smaller than
+    /// its children's). Immutable => lock-free IsAncestor.
+    const std::vector<lock::TxnId> path;
+    /// Owning pointer up the chain; children are raw (the table owns
+    /// every record) so record graphs have no shared_ptr cycles.
+    const std::shared_ptr<TxnRec> parent_rec;
+
+    mutable std::mutex mu;  // guards everything below
+    TxnState state = TxnState::kActive;
+    AbortCause cause = AbortCause::kNone;
+    std::uint32_t open_children = 0;
+    std::vector<TxnRec*> children;
+    /// This transaction's private value-map versions.
+    std::map<ObjectId, Value> buffer;
+  };
+
+  struct TableShard {
+    mutable std::mutex mu;
+    std::unordered_map<lock::TxnId, std::shared_ptr<TxnRec>> recs;
+  };
+  struct StoreShard {
+    mutable std::mutex mu;
+    std::unordered_map<ObjectId, Value> values;
+  };
+  /// One blocked acquirer's edge in the wait-for graph.
+  struct WaitEdge {
+    ObjectId object = 0;
+    std::vector<lock::TxnId> blockers;
+  };
+  struct WaitShard {
+    mutable std::mutex mu;
+    std::unordered_map<lock::TxnId, WaitEdge> edges;
+  };
+
+  std::size_t TxnShard(lock::TxnId t) const {
+    return static_cast<std::size_t>(t * 0x9e3779b97f4a7c15ull >> 40) %
+           table_.size();
+  }
+  std::size_t ObjShard(ObjectId x) const {
+    return static_cast<std::size_t>(
+               static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ull >> 40) %
+           store_.size();
+  }
+
+  std::shared_ptr<TxnRec> FindRec(lock::TxnId t) const;
+  void InsertRec(const std::shared_ptr<TxnRec>& rec);
+  /// Removes a completed top-level subtree from the table.
+  void CollectSubtree(TxnRec* root);
+
+  void RegisterWait(lock::TxnId t, WaitEdge edge);
+  void UnregisterWait(lock::TxnId t);
+  std::optional<ObjectId> WaitingOn(lock::TxnId t) const;
+  /// Shard-by-shard snapshot, ordered by waiter id for determinism.
+  std::map<lock::TxnId, WaitEdge> WaitSnapshot() const;
+
+  /// Status for an access against a dead transaction (rec->mu held).
+  static Status DeadStatusLocked(const TxnRec& rec);
+  /// The visible value of x for the chain (self..root locked by caller),
+  /// plus the private write and the trace event, atomically.
+  StatusOr<Value> RecordAccessChainLocked(
+      const std::vector<TxnRec*>& chain, ObjectId x,
+      const action::Update& update);
+  /// Aborts rec's whole live subtree (children-first abort events).
+  /// Returns true iff rec itself transitioned active -> aborted here.
+  bool AbortTree(TxnRec* rec, AbortCause cause);
+  /// Abort + stats + GC wrapper used by Abort() and victim kills.
+  bool AbortAndCollect(TxnRec* rec, AbortCause cause);
+  /// Runs deadlock detection from `start`; kills the chosen victim.
+  /// Returns true iff `start` itself was the victim.
+  bool ResolveDeadlockFrom(lock::TxnId start);
+
+  Value StoreRead(ObjectId x) const;
+  void AppendTrace(TraceEvent event);
+
+  TransactionManager::Options options_;
+  lock::LockManager locks_;
+  std::atomic<lock::TxnId> next_id_{1};
+  std::vector<TableShard> table_;
+  std::vector<StoreShard> store_;
+  std::vector<WaitShard> waits_;
+
+  mutable std::mutex trace_mu_;
+  Trace trace_;
+
+  std::atomic<std::uint64_t> begun_{0};
+  std::atomic<std::uint64_t> committed_{0};
+  std::atomic<std::uint64_t> aborted_{0};
+  std::atomic<std::uint64_t> deadlock_aborts_{0};
+  std::atomic<std::uint64_t> timeout_aborts_{0};
+  std::atomic<std::uint64_t> cascade_aborts_{0};
+  std::atomic<std::uint64_t> lock_waits_{0};
+  std::atomic<std::uint64_t> accesses_{0};
+};
+
+}  // namespace rnt::txn::internal
+
+#endif  // RNT_TXN_SHARDED_ENGINE_H_

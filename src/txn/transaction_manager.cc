@@ -1,270 +1,43 @@
 #include "txn/transaction_manager.h"
 
-#include <algorithm>
+#include "txn/engine_core.h"
+#include "txn/global_engine.h"
+#include "txn/sharded_engine.h"
 
 namespace rnt::txn {
 
-using lock::kNoTxn;
-using lock::TxnId;
+namespace {
+
+std::unique_ptr<internal::EngineCore> MakeCore(
+    const TransactionManager::Options& options) {
+  if (options.mode == EngineMode::kGlobalMutex) {
+    return std::make_unique<internal::GlobalEngine>(options);
+  }
+  return std::make_unique<internal::ShardedEngine>(options);
+}
+
+}  // namespace
 
 TransactionManager::TransactionManager() : TransactionManager(Options{}) {}
 
 TransactionManager::TransactionManager(Options options)
-    : options_(options),
-      locks_(this, lock::LockManager::Options{options.single_mode_locks}) {}
+    : impl_(MakeCore(options)) {}
 
 TransactionManager::~TransactionManager() = default;
 
-bool TransactionManager::IsAncestor(TxnId anc, TxnId desc) const {
-  if (anc == kNoTxn) return true;
-  for (TxnId c = desc; c != kNoTxn;) {
-    if (c == anc) return true;
-    auto it = txns_.find(c);
-    if (it == txns_.end()) return false;
-    c = it->second.parent;
-  }
-  return false;
-}
-
 std::unique_ptr<TxnHandle> TransactionManager::Begin() {
-  std::unique_lock<std::mutex> lk(mu_);
-  auto id = BeginLocked(kNoTxn);
-  // Top-level begin cannot fail (the virtual root never dies).
-  return std::unique_ptr<TxnHandle>(new Transaction(this, *id));
+  lock::TxnId id = impl_->BeginTop();
+  return std::unique_ptr<TxnHandle>(new Transaction(impl_.get(), id));
 }
 
 Value TransactionManager::ReadCommitted(ObjectId x) {
-  std::unique_lock<std::mutex> lk(mu_);
-  auto it = committed_.find(x);
-  return it == committed_.end() ? action::kInitValue : it->second;
+  return impl_->ReadCommitted(x);
 }
 
-Trace TransactionManager::TakeTrace() {
-  std::unique_lock<std::mutex> lk(mu_);
-  Trace out = std::move(trace_);
-  trace_.events.clear();
-  return out;
-}
+Trace TransactionManager::TakeTrace() { return impl_->TakeTrace(); }
 
 TransactionManager::Stats TransactionManager::stats() const {
-  std::unique_lock<std::mutex> lk(mu_);
-  return stats_;
-}
-
-StatusOr<TxnId> TransactionManager::BeginLocked(TxnId parent) {
-  if (parent != kNoTxn) {
-    auto it = txns_.find(parent);
-    if (it == txns_.end() || it->second.state != TxnState::kActive) {
-      return Status::Aborted("parent transaction is not active");
-    }
-  }
-  TxnId id = next_id_++;
-  TxnInfo info;
-  info.parent = parent;
-  txns_.emplace(id, std::move(info));
-  if (parent != kNoTxn) {
-    TxnInfo& p = txns_.at(parent);
-    p.children.push_back(id);
-    ++p.open_children;
-  }
-  ++stats_.begun;
-  if (options_.record_trace) {
-    trace_.events.push_back(
-        TraceEvent{TraceEvent::Kind::kBegin, id, parent, 0, {}, 0});
-  }
-  return id;
-}
-
-Value TransactionManager::VisibleValueLocked(ObjectId x, TxnId t) const {
-  // The engine's value map: the nearest ancestor holding a private
-  // version, else the committed store, else init (the paper's principal
-  // value of x).
-  auto ox = uncommitted_.find(x);
-  if (ox != uncommitted_.end()) {
-    for (TxnId c = t; c != kNoTxn;) {
-      auto v = ox->second.find(c);
-      if (v != ox->second.end()) return v->second;
-      auto it = txns_.find(c);
-      if (it == txns_.end()) break;
-      c = it->second.parent;
-    }
-  }
-  auto cit = committed_.find(x);
-  return cit == committed_.end() ? action::kInitValue : cit->second;
-}
-
-bool TransactionManager::DeadlockFromLocked(TxnId start) const {
-  // Wait-for reachability over the nested-transaction dependency
-  // structure: t waits for blocker q; q cannot release until its whole
-  // subtree completes, so t transitively waits on every *waiting*
-  // descendant of q.
-  std::vector<TxnId> stack{start};
-  std::set<TxnId> visited{start};
-  while (!stack.empty()) {
-    TxnId c = stack.back();
-    stack.pop_back();
-    auto wit = waiting_.find(c);
-    if (wit == waiting_.end()) continue;
-    for (TxnId q : wit->second) {
-      for (const auto& [w, edges] : waiting_) {
-        if (!IsAncestor(q, w)) continue;
-        if (w == start) return true;
-        if (visited.insert(w).second) stack.push_back(w);
-      }
-    }
-  }
-  return false;
-}
-
-StatusOr<Value> TransactionManager::AccessLocked(
-    std::unique_lock<std::mutex>& lk, TxnId t, ObjectId x,
-    const action::Update& update) {
-  const lock::LockMode mode =
-      update.IsRead() ? lock::LockMode::kRead : lock::LockMode::kWrite;
-  const auto deadline =
-      std::chrono::steady_clock::now() + options_.lock_wait_timeout;
-  bool waited = false;
-  for (;;) {
-    auto it = txns_.find(t);
-    if (it == txns_.end() || it->second.state != TxnState::kActive) {
-      waiting_.erase(t);
-      return Status::Aborted("transaction is not active");
-    }
-    if (locks_.TryAcquire(x, t, mode)) break;
-    if (!waited) {
-      waited = true;
-      ++stats_.lock_waits;
-    }
-    waiting_[t] = locks_.Blockers(x, t, mode);
-    if (options_.deadlock_detection && DeadlockFromLocked(t)) {
-      waiting_.erase(t);
-      ++stats_.deadlock_aborts;
-      (void)AbortLocked(t, /*cascading=*/false);
-      return Status::Aborted("deadlock victim");
-    }
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
-      waiting_.erase(t);
-      auto it2 = txns_.find(t);
-      if (it2 != txns_.end() && it2->second.state == TxnState::kActive) {
-        ++stats_.timeout_aborts;
-        (void)AbortLocked(t, /*cascading=*/false);
-        return Status::Timeout("lock wait timed out");
-      }
-      return Status::Aborted("transaction is not active");
-    }
-    waiting_.erase(t);
-  }
-  waiting_.erase(t);
-  ++stats_.accesses;
-  Value seen = VisibleValueLocked(x, t);
-  if (!update.IsRead()) {
-    uncommitted_[x][t] = update.Apply(seen);
-    txns_.at(t).written.insert(x);
-  }
-  if (options_.record_trace) {
-    trace_.events.push_back(
-        TraceEvent{TraceEvent::Kind::kPerform, next_id_++, t, x, update,
-                   seen});
-  }
-  return seen;
-}
-
-Status TransactionManager::CommitLocked(TxnId t) {
-  auto it = txns_.find(t);
-  if (it == txns_.end()) return Status::Aborted("transaction is gone");
-  TxnInfo& info = it->second;
-  if (info.state == TxnState::kAborted) {
-    return Status::Aborted("transaction was aborted");
-  }
-  if (info.state == TxnState::kCommitted) {
-    return Status::IllegalState("transaction already committed");
-  }
-  if (info.open_children != 0) {
-    return Status::IllegalState("commit with open subtransactions");
-  }
-  const TxnId parent = info.parent;
-  // Version propagation: each private value moves to the parent (or to
-  // the durable store for a top-level commit) — release-lock's effect.
-  for (ObjectId x : info.written) {
-    auto& entry = uncommitted_.at(x);
-    Value v = entry.at(t);
-    entry.erase(t);
-    if (parent == kNoTxn) {
-      committed_[x] = v;
-    } else {
-      entry[parent] = v;
-      txns_.at(parent).written.insert(x);
-    }
-    if (entry.empty()) uncommitted_.erase(x);
-  }
-  info.written.clear();
-  locks_.OnCommit(t, parent);
-  info.state = TxnState::kCommitted;
-  if (parent != kNoTxn) --txns_.at(parent).open_children;
-  ++stats_.committed;
-  if (options_.record_trace) {
-    trace_.events.push_back(
-        TraceEvent{TraceEvent::Kind::kCommit, t, parent, 0, {}, 0});
-  }
-  if (parent == kNoTxn) {
-    // Garbage-collect the completed top-level subtree: every descendant
-    // is done (open_children was 0 transitively), so no lock, version, or
-    // ancestry query can mention these ids again.
-    std::vector<TxnId> doomed{t};
-    for (std::size_t i = 0; i < doomed.size(); ++i) {
-      auto dit = txns_.find(doomed[i]);
-      if (dit == txns_.end()) continue;
-      doomed.insert(doomed.end(), dit->second.children.begin(),
-                    dit->second.children.end());
-    }
-    for (TxnId d : doomed) txns_.erase(d);
-  }
-  cv_.notify_all();
-  return Status::Ok();
-}
-
-Status TransactionManager::AbortLocked(TxnId t, bool cascading) {
-  auto it = txns_.find(t);
-  if (it == txns_.end() || it->second.state != TxnState::kActive) {
-    return Status::Ok();  // idempotent on dead/unknown transactions
-  }
-  // Kill live descendants first (post-order), mirroring the cascade with
-  // one abort event per vertex.
-  std::vector<TxnId> kids = it->second.children;
-  for (TxnId c : kids) {
-    (void)AbortLocked(c, /*cascading=*/true);
-  }
-  TxnInfo& info = txns_.at(t);
-  for (ObjectId x : info.written) {
-    auto ox = uncommitted_.find(x);
-    if (ox != uncommitted_.end()) {
-      ox->second.erase(t);
-      if (ox->second.empty()) uncommitted_.erase(ox);
-    }
-  }
-  info.written.clear();
-  locks_.OnAbort(t);
-  info.state = TxnState::kAborted;
-  waiting_.erase(t);
-  if (info.parent != kNoTxn) --txns_.at(info.parent).open_children;
-  ++stats_.aborted;
-  if (cascading) ++stats_.cascade_aborts;
-  if (options_.record_trace) {
-    trace_.events.push_back(
-        TraceEvent{TraceEvent::Kind::kAbort, t, info.parent, 0, {}, 0});
-  }
-  if (info.parent == kNoTxn) {
-    std::vector<TxnId> doomed{t};
-    for (std::size_t i = 0; i < doomed.size(); ++i) {
-      auto dit = txns_.find(doomed[i]);
-      if (dit == txns_.end()) continue;
-      doomed.insert(doomed.end(), dit->second.children.begin(),
-                    dit->second.children.end());
-    }
-    for (TxnId d : doomed) txns_.erase(d);
-  }
-  cv_.notify_all();
-  return Status::Ok();
+  return impl_->stats();
 }
 
 // ---------------------------------------------------------------------
@@ -284,27 +57,23 @@ Status Transaction::Put(ObjectId x, Value v) {
 }
 
 StatusOr<Value> Transaction::Apply(ObjectId x, const action::Update& update) {
-  std::unique_lock<std::mutex> lk(mgr_->mu_);
-  return mgr_->AccessLocked(lk, id_, x, update);
+  return core_->Access(id_, x, update);
 }
 
 StatusOr<std::unique_ptr<TxnHandle>> Transaction::BeginChild() {
-  std::unique_lock<std::mutex> lk(mgr_->mu_);
-  RNT_ASSIGN_OR_RETURN(lock::TxnId child, mgr_->BeginLocked(id_));
-  return std::unique_ptr<TxnHandle>(new Transaction(mgr_, child));
+  RNT_ASSIGN_OR_RETURN(lock::TxnId child, core_->BeginChild(id_));
+  return std::unique_ptr<TxnHandle>(new Transaction(core_, child));
 }
 
 Status Transaction::Commit() {
-  std::unique_lock<std::mutex> lk(mgr_->mu_);
-  Status s = mgr_->CommitLocked(id_);
+  Status s = core_->Commit(id_);
   if (s.ok() || s.IsAborted()) finished_ = true;
   return s;
 }
 
 Status Transaction::Abort() {
-  std::unique_lock<std::mutex> lk(mgr_->mu_);
   finished_ = true;
-  return mgr_->AbortLocked(id_, /*cascading=*/false);
+  return core_->Abort(id_);
 }
 
 }  // namespace rnt::txn

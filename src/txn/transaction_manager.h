@@ -2,13 +2,8 @@
 #define RNT_TXN_TRANSACTION_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <set>
-#include <vector>
 
 #include "action/update.h"
 #include "common/status.h"
@@ -20,6 +15,21 @@
 namespace rnt::txn {
 
 class Transaction;
+namespace internal {
+class EngineCore;
+}
+
+/// Which concurrency skeleton the engine runs on. Semantics are
+/// identical; only the synchronization strategy differs.
+enum class EngineMode : std::uint8_t {
+  /// Sharded lock table + sharded value-map store + per-transaction
+  /// record locks; targeted per-object wakeups (default).
+  kSharded = 0,
+  /// The seed design: one global mutex, one broadcast condition
+  /// variable. Kept as the measured baseline for the scalability
+  /// experiments (E11) and as a bisection aid.
+  kGlobalMutex = 1,
+};
 
 /// The core library: a multithreaded nested-transaction engine running
 /// Moss's locking algorithm — the operational counterpart of the paper's
@@ -36,25 +46,44 @@ class Transaction;
 ///    kills its subtree);
 ///  * optional execution tracing for offline serializability checking.
 ///
-/// Concurrency model: one global mutex guards all engine state; blocked
-/// acquirers wait on a condition variable and are woken by every commit/
-/// abort. This favors auditability over raw scalability; benchmark
-/// comparisons against the flat baseline remain apples-to-apples because
-/// both engines share the same skeleton (see DESIGN.md E1).
-class TransactionManager final : public Engine, private lock::Ancestry {
+/// Concurrency model (EngineMode::kSharded, the default): the lock table
+/// is sharded by object with per-shard mutexes and per-object wait
+/// queues (a release wakes exactly the waiters of that object); each
+/// transaction keeps its private version buffer in its own record,
+/// guarded by a per-record mutex, and commit merges child into parent
+/// under parent-local locking; the committed store and the transaction
+/// table are sharded likewise. Record mutexes nest only root-to-leaf
+/// along one ancestor chain, so intra-tree operations are deadlock-free
+/// while unrelated top-level trees never share a lock. Deadlock
+/// detection snapshots the wait-for graph shard by shard — no
+/// stop-the-world — and deterministically picks the youngest (largest
+/// id) transaction on the cycle as victim. EngineMode::kGlobalMutex
+/// retains the seed design (one mutex, broadcast wakeups) as the
+/// measured baseline; benchmark comparisons against the flat baseline
+/// remain apples-to-apples because both engines share the same skeleton
+/// (see DESIGN.md E1, EXPERIMENTS.md E11).
+class TransactionManager final : public Engine {
  public:
   struct Options {
     /// Use the paper's simplified single-mode locks (every access locks
     /// exclusively) instead of read/write modes.
     bool single_mode_locks = false;
-    /// Detect deadlocks via wait-for-graph cycles and abort the requester
-    /// (default). When false, rely on lock_wait_timeout instead.
+    /// Detect deadlocks via wait-for-graph cycles and abort a victim on
+    /// the cycle (default). When false, rely on lock_wait_timeout.
     bool deadlock_detection = true;
     /// Maximum total wait for one lock acquisition (timeout policy, and a
     /// backstop under detection).
     std::chrono::milliseconds lock_wait_timeout{2000};
     /// Record a trace for offline action-tree reconstruction.
     bool record_trace = false;
+    /// Concurrency skeleton; see EngineMode.
+    EngineMode mode = EngineMode::kSharded;
+    /// Shard count for the lock table, value-map store, and transaction
+    /// table (kSharded only; clamped to >= 1).
+    std::uint32_t shards = 16;
+    /// How often a blocked acquirer re-runs deadlock detection
+    /// (kSharded only — the global engine re-checks on every broadcast).
+    std::chrono::milliseconds deadlock_check_interval{5};
   };
 
   TransactionManager();
@@ -87,46 +116,7 @@ class TransactionManager final : public Engine, private lock::Ancestry {
   Stats stats() const;
 
  private:
-  friend class Transaction;
-
-  enum class TxnState : std::uint8_t { kActive, kCommitted, kAborted };
-
-  struct TxnInfo {
-    lock::TxnId parent = lock::kNoTxn;
-    TxnState state = TxnState::kActive;
-    std::uint32_t open_children = 0;
-    std::vector<lock::TxnId> children;
-    /// Objects whose value map carries an entry for this txn.
-    std::set<ObjectId> written;
-  };
-
-  // lock::Ancestry (called under mu_).
-  bool IsAncestor(lock::TxnId anc, lock::TxnId desc) const override;
-
-  // All private methods below require mu_ held.
-  StatusOr<lock::TxnId> BeginLocked(lock::TxnId parent);
-  Status CommitLocked(lock::TxnId t);
-  Status AbortLocked(lock::TxnId t, bool cascading);
-  StatusOr<Value> AccessLocked(std::unique_lock<std::mutex>& lk,
-                               lock::TxnId t, ObjectId x,
-                               const action::Update& update);
-  Value VisibleValueLocked(ObjectId x, lock::TxnId t) const;
-  bool DeadlockFromLocked(lock::TxnId start) const;
-
-  Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  lock::TxnId next_id_ = 1;
-  std::map<lock::TxnId, TxnInfo> txns_;
-  lock::LockManager locks_;
-  /// Committed top-level state (absent => init value 0).
-  std::map<ObjectId, Value> committed_;
-  /// Uncommitted versions: object -> (txn -> private value).
-  std::map<ObjectId, std::map<lock::TxnId, Value>> uncommitted_;
-  /// Wait-for edges of currently blocked acquirers.
-  std::map<lock::TxnId, std::vector<lock::TxnId>> waiting_;
-  Trace trace_;
-  Stats stats_;
+  std::unique_ptr<internal::EngineCore> impl_;
 };
 
 /// Concrete handle for TransactionManager transactions. Created via
@@ -149,9 +139,10 @@ class Transaction final : public TxnHandle {
 
  private:
   friend class TransactionManager;
-  Transaction(TransactionManager* mgr, lock::TxnId id) : mgr_(mgr), id_(id) {}
+  Transaction(internal::EngineCore* core, lock::TxnId id)
+      : core_(core), id_(id) {}
 
-  TransactionManager* mgr_;
+  internal::EngineCore* core_;
   lock::TxnId id_;
   bool finished_ = false;  // commit/abort called through this handle
 };

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
+#include <set>
+#include <thread>
 
 namespace rnt::lock {
 namespace {
@@ -167,6 +170,137 @@ TEST_F(LockManagerTest, RecordCountTracksFootprint) {
   lm_->OnAbort(11);
   EXPECT_EQ(lm_->RecordCount(), 0u);
 }
+
+/// The shard-sensitive paths, exercised at several shard counts: 1
+/// (the seed's fully serialized table), a small prime (objects from the
+/// same test collide in one shard), and the default 16.
+class ShardedLockManagerTest : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  void SetUp() override {
+    anc_.Add(1, kNoTxn);
+    anc_.Add(2, kNoTxn);
+    anc_.Add(11, 1);
+    anc_.Add(12, 1);
+    anc_.Add(111, 11);
+    lm_ = std::make_unique<LockManager>(
+        &anc_, LockManager::Options{/*single_mode=*/false,
+                                    /*shards=*/GetParam()});
+  }
+
+  FakeAncestry anc_;
+  std::unique_ptr<LockManager> lm_;
+};
+
+TEST_P(ShardedLockManagerTest, ReadToWriteUpgradeGatedBySiblingCommit) {
+  // 11 and 12 read x0; neither can upgrade while the other's read hold
+  // is live...
+  ASSERT_TRUE(lm_->TryAcquire(0, 11, LockMode::kRead));
+  ASSERT_TRUE(lm_->TryAcquire(0, 12, LockMode::kRead));
+  EXPECT_FALSE(lm_->TryAcquire(0, 11, LockMode::kWrite));
+  EXPECT_FALSE(lm_->TryAcquire(0, 12, LockMode::kWrite));
+  // ...but once 12 commits, its read is *retained by the shared parent
+  // 1*, an ancestor of 11 — the upgrade goes through.
+  lm_->OnCommit(12, 1);
+  EXPECT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite)) << "upgrade";
+  EXPECT_TRUE(lm_->Holds(0, 11, LockMode::kRead));
+  EXPECT_TRUE(lm_->Holds(0, 11, LockMode::kWrite));
+  // The upgraded write still excludes the foreign top-level.
+  EXPECT_FALSE(lm_->TryAcquire(0, 2, LockMode::kRead));
+}
+
+TEST_P(ShardedLockManagerTest, CommitInheritsAcrossShards) {
+  // Touch enough objects that, at >1 shards, the footprint provably
+  // spans several shards; commit must find and transfer every record.
+  constexpr ObjectId kObjects = 40;
+  std::set<std::size_t> shards_touched;
+  for (ObjectId x = 0; x < kObjects; ++x) {
+    ASSERT_TRUE(lm_->TryAcquire(
+        x, 111, x % 2 == 0 ? LockMode::kWrite : LockMode::kRead));
+    shards_touched.insert(lm_->ShardOf(x));
+  }
+  if (GetParam() > 1) {
+    EXPECT_GT(shards_touched.size(), 1u)
+        << "test should actually span shards";
+  }
+  EXPECT_EQ(lm_->RecordCount(), kObjects);
+  lm_->OnCommit(111, 11);
+  EXPECT_EQ(lm_->RecordCount(), kObjects) << "held became retained";
+  for (ObjectId x = 0; x < kObjects; ++x) {
+    EXPECT_FALSE(lm_->Holds(x, 111, LockMode::kWrite));
+    EXPECT_FALSE(lm_->Holds(x, 111, LockMode::kRead));
+    LockMode m = x % 2 == 0 ? LockMode::kWrite : LockMode::kRead;
+    EXPECT_TRUE(lm_->Retains(x, 11, m)) << "object " << x;
+  }
+  // Chain up: 11 -> 1, then top-level commit releases everything.
+  lm_->OnCommit(11, 1);
+  EXPECT_EQ(lm_->RetainerCount(7), 1u);
+  EXPECT_TRUE(lm_->Retains(7, 1, LockMode::kRead));
+  lm_->OnCommit(1, kNoTxn);
+  EXPECT_EQ(lm_->RecordCount(), 0u);
+  EXPECT_TRUE(lm_->TryAcquire(0, 2, LockMode::kWrite));
+}
+
+TEST_P(ShardedLockManagerTest, RetainedUpgradeMergesModes) {
+  // A child's read and another child's write on the same object merge
+  // into one retained ModeSet on the parent.
+  ASSERT_TRUE(lm_->TryAcquire(5, 11, LockMode::kRead));
+  lm_->OnCommit(11, 1);
+  ASSERT_TRUE(lm_->TryAcquire(5, 12, LockMode::kWrite));
+  lm_->OnCommit(12, 1);
+  EXPECT_TRUE(lm_->Retains(5, 1, LockMode::kRead));
+  EXPECT_TRUE(lm_->Retains(5, 1, LockMode::kWrite));
+  EXPECT_EQ(lm_->RetainerCount(5), 1u);
+}
+
+TEST_P(ShardedLockManagerTest, EnqueueAndTargetedWakeup) {
+  ASSERT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite));
+  auto attempt = lm_->AcquireOrEnqueue(0, 2, LockMode::kWrite);
+  ASSERT_FALSE(attempt.acquired);
+  ASSERT_EQ(attempt.blockers.size(), 1u);
+  EXPECT_EQ(attempt.blockers[0], 11u);
+  // Releasing an unrelated object must NOT wake x0's waiter...
+  ASSERT_TRUE(lm_->TryAcquire(1, 12, LockMode::kWrite));
+  lm_->OnAbort(12);
+  // ...so the ticket is still current and a short wait times out.
+  EXPECT_FALSE(lm_->WaitOn(0, attempt.ticket,
+                           std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(20)));
+  // Releasing x0 itself moves the queue: re-enqueue, release from
+  // another thread, and observe the wakeup.
+  attempt = lm_->AcquireOrEnqueue(0, 2, LockMode::kWrite);
+  ASSERT_FALSE(attempt.acquired);
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    lm_->OnAbort(11);
+  });
+  EXPECT_TRUE(lm_->WaitOn(0, attempt.ticket,
+                          std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10)));
+  releaser.join();
+  EXPECT_TRUE(lm_->TryAcquire(0, 2, LockMode::kWrite));
+}
+
+TEST_P(ShardedLockManagerTest, CancelWaitAndPoke) {
+  ASSERT_TRUE(lm_->TryAcquire(0, 11, LockMode::kWrite));
+  auto attempt = lm_->AcquireOrEnqueue(0, 2, LockMode::kWrite);
+  ASSERT_FALSE(attempt.acquired);
+  lm_->CancelWait(0);  // deregisters without waiting
+  // Poke wakes waiters without changing lock state.
+  attempt = lm_->AcquireOrEnqueue(0, 2, LockMode::kWrite);
+  ASSERT_FALSE(attempt.acquired);
+  lm_->Poke(0);
+  EXPECT_TRUE(lm_->WaitOn(0, attempt.ticket,
+                          std::chrono::steady_clock::now() +
+                              std::chrono::seconds(10)));
+  EXPECT_FALSE(lm_->TryAcquire(0, 2, LockMode::kWrite))
+      << "poke does not release anything";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardedLockManagerTest,
+                         ::testing::Values(1u, 3u, 16u),
+                         [](const auto& info) {
+                           return "s" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace rnt::lock
