@@ -1,15 +1,30 @@
 // Experiment E5 (DESIGN.md): the distributed algorithm's overhead is
 // knowledge propagation (paper §9) — action summaries moving through the
 // message buffer. The algebra leaves the propagation policy completely
-// free (any sub-summary, any time); this bench quantifies the two natural
+// free (any sub-summary, any time); this bench quantifies the three
 // policies as the cluster grows:
-//   lazy  — ship a summary only when a pending step needs the knowledge;
-//   eager — broadcast the doer's summary after every event.
+//   lazy  — ship a full summary only when a pending step needs it;
+//   eager — broadcast the doer's full summary after every event;
+//   delta — lazy sync points, but ship only the entries new since the
+//           last send to that peer (per-peer frontiers).
+//
+// Experiment E12 (EXPERIMENTS.md): `--sweep_json` runs the cluster sweep
+// k = 1/2/4/8 for all three policies on the sequential driver plus the
+// multi-threaded ParallelRunner (delta and eager arms), checks every
+// parallel final state against the sequential driver's, and emits one
+// JSON object (committed as bench/e12_distributed.json).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
 #include "common/random.h"
 #include "sim/dist_driver.h"
+#include "sim/parallel_runner.h"
 
 namespace {
 
@@ -34,10 +49,14 @@ void BuildProgram(rnt::action::ActionRegistry& reg, int tops, int objects,
   }
 }
 
+constexpr int kTops = 12;
+constexpr int kObjects = 8;
+constexpr std::uint64_t kSeed = 5;
+
 void RunDriver(benchmark::State& state, rnt::sim::Propagation prop) {
   NodeId k = static_cast<NodeId>(state.range(0));
   rnt::action::ActionRegistry reg;
-  BuildProgram(reg, /*tops=*/12, /*objects=*/8, /*seed=*/5);
+  BuildProgram(reg, kTops, kObjects, kSeed);
   rnt::dist::Topology topo = rnt::dist::Topology::RoundRobin(&reg, k);
   rnt::dist::DistAlgebra alg(&topo);
   rnt::sim::DriverOptions opt;
@@ -69,10 +88,191 @@ void BM_DistLazy(benchmark::State& state) {
 void BM_DistEager(benchmark::State& state) {
   RunDriver(state, rnt::sim::Propagation::kEager);
 }
+void BM_DistDelta(benchmark::State& state) {
+  RunDriver(state, rnt::sim::Propagation::kDelta);
+}
+
+void BM_DistParallel(benchmark::State& state) {
+  NodeId k = static_cast<NodeId>(state.range(0));
+  rnt::action::ActionRegistry reg;
+  BuildProgram(reg, kTops, kObjects, kSeed);
+  rnt::dist::Topology topo = rnt::dist::Topology::RoundRobin(&reg, k);
+  rnt::dist::DistAlgebra alg(&topo);
+  rnt::sim::ParallelOptions opt;
+  opt.record_events = false;  // wall-clock mode
+  rnt::sim::DriverStats last{};
+  for (auto _ : state) {
+    auto run = rnt::sim::RunParallel(alg, opt);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    last = run->stats;
+    benchmark::DoNotOptimize(run->final_state);
+  }
+  state.counters["messages"] = static_cast<double>(last.messages);
+  state.counters["summary_entries"] =
+      static_cast<double>(last.summary_entries);
+}
 
 BENCHMARK(BM_DistLazy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 BENCHMARK(BM_DistEager)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_DistDelta)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_DistParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// ---------------------------------------------------------------------
+// E12 sweep.
+
+struct Cell {
+  rnt::sim::DriverStats stats;
+  double wall_ms = 0.0;
+  bool equivalent = true;
+};
+
+double MedianWallMs(const std::vector<double>& samples) {
+  std::vector<double> s = samples;
+  std::sort(s.begin(), s.end());
+  return s[s.size() / 2];
+}
+
+/// One sequential-driver cell: stats are deterministic; wall-clock is the
+/// median of `reps` runs.
+Cell RunSeqCell(const rnt::dist::DistAlgebra& alg, rnt::sim::Propagation prop,
+                int reps) {
+  Cell cell;
+  std::vector<double> wall;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto run = rnt::sim::RunProgram(alg, {.propagation = prop});
+    auto t1 = std::chrono::steady_clock::now();
+    if (!run.ok()) {
+      std::fprintf(stderr, "seq cell failed: %s\n",
+                   run.status().ToString().c_str());
+      std::exit(1);
+    }
+    cell.stats = run->stats;
+    wall.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  cell.wall_ms = MedianWallMs(wall);
+  return cell;
+}
+
+/// One parallel-runner cell: wall-clock without event recording, then one
+/// recorded run whose final value maps are checked against the sequential
+/// driver's (the acceptance criterion of E12).
+Cell RunParCell(const rnt::dist::DistAlgebra& alg,
+                const rnt::dist::Topology& topo, rnt::sim::Propagation prop,
+                const rnt::dist::DistState& seq_final, int reps) {
+  Cell cell;
+  std::vector<double> wall;
+  rnt::sim::ParallelOptions opt;
+  opt.propagation = prop;
+  opt.record_events = false;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto run = rnt::sim::RunParallel(alg, opt);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!run.ok()) {
+      std::fprintf(stderr, "par cell failed: %s\n",
+                   run.status().ToString().c_str());
+      std::exit(1);
+    }
+    cell.stats = run->stats;
+    wall.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    for (ObjectId x = 0; x < kObjects; ++x) {
+      NodeId h = topo.HomeOfObject(x);
+      if (run->final_state.nodes[h].vmap.Get(x, rnt::kRootAction) !=
+          seq_final.nodes[h].vmap.Get(x, rnt::kRootAction)) {
+        cell.equivalent = false;
+      }
+    }
+  }
+  cell.wall_ms = MedianWallMs(wall);
+  return cell;
+}
+
+void PrintCell(const char* runner, const char* policy, NodeId k,
+               const Cell& c, bool first) {
+  std::printf(
+      "%s{\"runner\":\"%s\",\"policy\":\"%s\",\"nodes\":%u,"
+      "\"messages\":%llu,\"summary_entries\":%llu,\"node_events\":%llu,"
+      "\"wall_ms\":%.3f,\"equivalent\":%s}",
+      first ? "" : ",", runner, policy, k,
+      static_cast<unsigned long long>(c.stats.messages),
+      static_cast<unsigned long long>(c.stats.summary_entries),
+      static_cast<unsigned long long>(c.stats.node_events), c.wall_ms,
+      c.equivalent ? "true" : "false");
+  std::fflush(stdout);
+}
+
+int RunSweepJson() {
+  constexpr int kReps = 7;
+  const NodeId kNodes[] = {1, 2, 4, 8};
+  rnt::action::ActionRegistry reg;
+  BuildProgram(reg, kTops, kObjects, kSeed);
+
+  std::printf("{\"bench\":\"distributed\",\"experiment\":\"E12\","
+              "\"tops\":%d,\"objects\":%d,\"seed\":%llu,\"reps\":%d,"
+              "\"trajectory\":[",
+              kTops, kObjects, static_cast<unsigned long long>(kSeed), kReps);
+  double entries_eager_k8 = 0, entries_delta_k8 = 0;
+  unsigned long long msgs_lazy_k8 = 0, msgs_delta_k8 = 0;
+  bool all_equivalent = true;
+  bool first = true;
+  for (NodeId k : kNodes) {
+    rnt::dist::Topology topo = rnt::dist::Topology::RoundRobin(&reg, k);
+    rnt::dist::DistAlgebra alg(&topo);
+    Cell lazy = RunSeqCell(alg, rnt::sim::Propagation::kLazy, kReps);
+    Cell eager = RunSeqCell(alg, rnt::sim::Propagation::kEager, kReps);
+    Cell delta = RunSeqCell(alg, rnt::sim::Propagation::kDelta, kReps);
+    PrintCell("dfs", "lazy", k, lazy, first);
+    first = false;
+    PrintCell("dfs", "eager", k, eager, false);
+    PrintCell("dfs", "delta", k, delta, false);
+    // Reference final state for the parallel equivalence check.
+    auto seq = rnt::sim::RunProgram(alg, {});
+    if (!seq.ok()) return 1;
+    Cell par_delta = RunParCell(alg, topo, rnt::sim::Propagation::kDelta,
+                                seq->final_state, kReps);
+    Cell par_eager = RunParCell(alg, topo, rnt::sim::Propagation::kEager,
+                                seq->final_state, kReps);
+    PrintCell("parallel", "delta", k, par_delta, false);
+    PrintCell("parallel", "eager", k, par_eager, false);
+    all_equivalent &= par_delta.equivalent && par_eager.equivalent;
+    if (k == 8) {
+      entries_eager_k8 = static_cast<double>(eager.stats.summary_entries);
+      entries_delta_k8 = static_cast<double>(delta.stats.summary_entries);
+      msgs_lazy_k8 = lazy.stats.messages;
+      msgs_delta_k8 = delta.stats.messages;
+    }
+  }
+  std::printf(
+      "],\"entries_ratio_eager_over_delta_at_k8\":%.2f,"
+      "\"delta_messages_leq_lazy_at_k8\":%s,"
+      "\"parallel_equivalent_to_sequential\":%s}\n",
+      entries_delta_k8 > 0 ? entries_eager_k8 / entries_delta_k8 : 0.0,
+      msgs_delta_k8 <= msgs_lazy_k8 ? "true" : "false",
+      all_equivalent ? "true" : "false");
+  return 0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool sweep = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep_json") == 0) {
+      sweep = true;
+    } else {
+      argv[out++] = argv[i];  // leave the rest for google-benchmark
+    }
+  }
+  argc = out;
+  if (sweep) return RunSweepJson();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

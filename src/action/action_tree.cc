@@ -134,8 +134,14 @@ ActionTree ActionTree::Perm() const {
     out.vertices_.push_back(a);
     out.info_[a] = info_.at(a);
     out.children_[registry_->Parent(a)].push_back(a);
-    if (registry_->IsAccess(a) && info_.at(a).has_label) {
-      out.datasteps_[registry_->Object(a)].push_back(a);
+  }
+  // Datasteps must keep their *perform* order (data_T is the sequence
+  // order, and version compatibility folds along it) — which need not be
+  // the activation order when creates run ahead of performs, as in the
+  // parallel runner.
+  for (const auto& [x, steps] : datasteps_) {
+    for (ActionId a : steps) {
+      if (out.Contains(a)) out.datasteps_[x].push_back(a);
     }
   }
   return out;

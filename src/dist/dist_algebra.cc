@@ -122,6 +122,18 @@ void DistAlgebra::Apply(State& s, const Event& e) const {
   }
 }
 
+void DistAlgebra::Apply(State& s, Event&& e) const {
+  if (auto* snd = std::get_if<Send>(&e)) {
+    s.buffer[snd->to].MergeFrom(std::move(snd->summary));  // (g21)
+    return;
+  }
+  if (auto* rcv = std::get_if<Receive>(&e)) {
+    s.nodes[rcv->to].summary.MergeFrom(std::move(rcv->summary));  // (h21)
+    return;
+  }
+  Apply(s, static_cast<const Event&>(e));
+}
+
 NodeId DistAlgebra::Doer(const Event& e) const {
   if (const auto* c = std::get_if<NodeCreate>(&e)) return c->i;
   if (const auto* c = std::get_if<NodeCommit>(&e)) return c->i;

@@ -116,6 +116,11 @@ class DistAlgebra {
 
   bool Defined(const State& s, const Event& e) const;
   void Apply(State& s, const Event& e) const;
+  /// Move form: a Send/Receive event that the caller is done with donates
+  /// its summary to the state (map nodes are spliced into the buffer /
+  /// node summary instead of copied — the second hop of a message costs
+  /// no allocation). Other events forward to the const& overload.
+  void Apply(State& s, Event&& e) const;
 
   /// The doer d(π) of an event: its node for (a)-(g), the buffer for (h).
   /// Buffer is represented as index k().

@@ -58,14 +58,78 @@ class ActionSummary {
   /// Sets the status of an already-present action.
   void SetStatus(ActionId a, action::ActionStatus s) { entries_[a] = s; }
 
-  /// T <- T ∪ T′ (paper §9.1), with done-status priority.
-  void MergeFrom(const ActionSummary& other) {
+  /// T <- T ∪ T′ (paper §9.1), with done-status priority. Entries already
+  /// known at an equal-or-later status are skipped without re-insertion
+  /// (no node allocation for knowledge we already hold). Returns true iff
+  /// the merge changed this summary — callers use it to detect whether a
+  /// delivery taught the node anything new.
+  bool MergeFrom(const ActionSummary& other) {
+    bool changed = false;
+    auto hint = entries_.begin();
     for (const auto& [a, s] : other.entries_) {
-      auto [it, inserted] = entries_.emplace(a, s);
-      if (!inserted && it->second == action::ActionStatus::kActive) {
-        it->second = s;
+      hint = entries_.lower_bound(a);
+      if (hint != entries_.end() && hint->first == a) {
+        if (hint->second == action::ActionStatus::kActive &&
+            s != action::ActionStatus::kActive) {
+          hint->second = s;
+          changed = true;
+        }
+      } else {
+        hint = entries_.emplace_hint(hint, a, s);
+        changed = true;
       }
     }
+    return changed;
+  }
+
+  /// Move form of MergeFrom for the message hop into the buffer: when this
+  /// summary is empty the incoming map is adopted wholesale; otherwise
+  /// nodes are spliced in via std::map::merge (no per-entry copies) and
+  /// only the conflicting leftovers are inspected for status upgrades.
+  bool MergeFrom(ActionSummary&& other) {
+    if (other.entries_.empty()) return false;
+    if (entries_.empty()) {
+      entries_ = std::move(other.entries_);
+      other.entries_.clear();
+      return true;
+    }
+    const std::size_t before = entries_.size();
+    entries_.merge(other.entries_);
+    bool changed = entries_.size() != before;
+    for (const auto& [a, s] : other.entries_) {  // keys we already had
+      auto it = entries_.find(a);
+      if (it->second == action::ActionStatus::kActive &&
+          s != action::ActionStatus::kActive) {
+        it->second = s;
+        changed = true;
+      }
+    }
+    other.entries_.clear();
+    return changed;
+  }
+
+  /// The sub-summary of entries not yet covered by `frontier`: actions the
+  /// frontier has never seen, plus actions whose status advanced past the
+  /// frontier's record (active -> committed/aborted). This is the delta a
+  /// node ships to a peer it last updated at `frontier`; because every
+  /// entry is taken verbatim from *this*, the delta is always a legal
+  /// sub-summary of the sender's knowledge (Send precondition g11), and
+  ///   frontier ∪ DeltaSince(frontier) == *this
+  /// whenever frontier ≤ *this (the frontier-merge identity the delta
+  /// tests pin down).
+  ActionSummary DeltaSince(const ActionSummary& frontier) const {
+    ActionSummary out;
+    auto it = frontier.entries_.begin();
+    const auto end = frontier.entries_.end();
+    for (const auto& [a, s] : entries_) {
+      while (it != end && it->first < a) ++it;
+      if (it != end && it->first == a &&
+          (it->second == s || s == action::ActionStatus::kActive)) {
+        continue;  // frontier already covers (a, s)
+      }
+      out.entries_.emplace_hint(out.entries_.end(), a, s);
+    }
+    return out;
   }
 
   /// T′ ≤ T: componentwise containment of vertices/committed/aborted.

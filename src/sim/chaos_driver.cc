@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "sim/parallel_runner.h"
 
 namespace rnt::sim {
 
@@ -561,8 +564,34 @@ txn::FaultStats ToFaultStats(const DriverStats& stats) {
   return f;
 }
 
+/// concurrent_buffer mode: delegate to the multi-threaded runner, then
+/// reconstruct the ChaosRun contract (abstract shadow, invariant check,
+/// stall diagnosis) post-hoc from the merged event log.
+static StatusOr<ChaosRun> ChaosRunConcurrent(const DistAlgebra& alg,
+                                             const ChaosOptions& options) {
+  ParallelOptions popts;
+  popts.propagation = options.propagation;
+  popts.abort_set = options.abort_set;
+  popts.plan = options.plan;
+  StatusOr<ParallelRun> par = RunParallel(alg, popts);
+  RNT_RETURN_IF_ERROR(par.status());
+  StatusOr<valuemap::ValState> abstract = ReplayAbstract(
+      alg, std::span<const dist::DistEvent>(par->events));
+  RNT_RETURN_IF_ERROR(abstract.status());
+  ChaosRun run{par->stats,           std::move(par->final_state),
+               std::move(*abstract), std::move(par->events),
+               par->complete,        StallDiagnosis{}};
+  if (options.check_invariants) {
+    RNT_RETURN_IF_ERROR(
+        dist::CheckLocalConsistency(alg, run.final_state, run.abstract));
+  }
+  if (!run.complete) run.stalls = DiagnoseStalls(alg, run.final_state);
+  return run;
+}
+
 StatusOr<ChaosRun> ChaosRunProgram(const DistAlgebra& alg,
                                    const ChaosOptions& options) {
+  if (options.concurrent_buffer) return ChaosRunConcurrent(alg, options);
   ChaosDriver driver(alg, options);
   return driver.Run();
 }

@@ -36,6 +36,17 @@ struct ChaosOptions {
   /// level-4 shadow state after every round (the "invariants under fire"
   /// mode used by the chaos tests; costs O(state) per round).
   bool check_invariants = false;
+  /// Run on the multi-threaded ParallelRunner against the concurrent
+  /// (mutex-free) message buffer instead of the round-based sequential
+  /// loop: faults are injected into real cross-thread traffic. Restricted
+  /// to message faults (drop/duplicate/delay — crash and partition plans
+  /// are rejected) and to kEager/kDelta propagation semantics (the runner
+  /// is reactive); `propagation` below selects which. The level-4 shadow
+  /// and the invariant check then run post-hoc over the merged event log
+  /// rather than per round.
+  bool concurrent_buffer = false;
+  /// Knowledge policy for concurrent_buffer mode (ignored otherwise).
+  Propagation propagation = Propagation::kDelta;
 };
 
 /// Result of a chaos run. `events` is the exact sequence of ℬ events the

@@ -36,6 +36,10 @@ class Driver {
     for (ActionId a = 1; a < reg_.size(); ++a) {
       children_[reg_.Parent(a)].push_back(a);
     }
+    if (options_.propagation == Propagation::kDelta) {
+      shipped_.resize(topo_.k(),
+                      std::vector<dist::ActionSummary>(topo_.k()));
+    }
   }
 
   StatusOr<DriverRun> Run() {
@@ -68,15 +72,26 @@ class Driver {
     return Status::FailedPrecondition(std::move(msg));
   }
 
-  /// Ships node i's full summary to j (one message).
+  /// Ships node i's knowledge to j (one message): the full summary under
+  /// kLazy/kEager, or only the entries new since the last send to j under
+  /// kDelta (per-peer frontier). The payload is moved, not copied, on its
+  /// second hop into the buffer.
   void Sync(NodeId i, NodeId j) {
     if (i == j || state_.nodes[i].summary.empty()) return;
-    dist::Send send{i, j, state_.nodes[i].summary};
-    stats_.summary_entries += send.summary.size();
-    if (alg_.Defined(state_, DistEvent{send})) {
-      alg_.Apply(state_, DistEvent{std::move(send)});
+    dist::ActionSummary payload;
+    if (options_.propagation == Propagation::kDelta) {
+      payload = state_.nodes[i].summary.DeltaSince(shipped_[i][j]);
+      if (payload.empty()) return;  // j was already shipped all of i.T
+      shipped_[i][j].MergeFrom(payload);
+    } else {
+      payload = state_.nodes[i].summary;
+    }
+    stats_.summary_entries += payload.size();
+    DistEvent send{dist::Send{i, j, std::move(payload)}};
+    if (alg_.Defined(state_, send)) {
+      alg_.Apply(state_, std::move(send));
       DistEvent recv{dist::Receive{j, state_.buffer[j]}};
-      if (alg_.Defined(state_, recv)) alg_.Apply(state_, recv);
+      if (alg_.Defined(state_, recv)) alg_.Apply(state_, std::move(recv));
       ++stats_.messages;
     }
   }
@@ -222,6 +237,8 @@ class Driver {
   const DriverOptions& options_;
   DistState state_;
   std::vector<std::vector<ActionId>> children_;
+  /// kDelta only: shipped_[i][j] = everything i has already sent to j.
+  std::vector<std::vector<dist::ActionSummary>> shipped_;
   std::map<ActionId, NodeId> created_at_;
   std::set<ActionId> aborted_;
   DriverStats stats_;

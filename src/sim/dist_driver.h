@@ -17,6 +17,13 @@ enum class Propagation {
   kLazy,
   /// After every node event, broadcast the doer's summary to all nodes.
   kEager,
+  /// Lazy sync points, incremental payloads: each node keeps a per-peer
+  /// frontier of what it already shipped and sends only the entries that
+  /// are new (or whose status advanced) since the last send to that peer.
+  /// Every delta is a legal sub-summary, so the algebra is untouched;
+  /// messages never exceed kLazy's (empty deltas are skipped) and total
+  /// shipped entries drop from O(total²) to O(total) per peer.
+  kDelta,
 };
 
 struct DriverOptions {

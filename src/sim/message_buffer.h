@@ -1,0 +1,92 @@
+#ifndef RNT_SIM_MESSAGE_BUFFER_H_
+#define RNT_SIM_MESSAGE_BUFFER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "dist/summary.h"
+
+namespace rnt::sim {
+
+/// One in-flight transmission toward the owning destination node.
+struct NodeMessage {
+  NodeId from = 0;
+  dist::ActionSummary summary;
+  /// Receiver-side holds before delivery (fault injection: a positive
+  /// value delays the message past `delay` drain passes; distinct delays
+  /// reorder messages).
+  int delay = 0;
+};
+
+/// The concurrent message buffer of the parallel runner: one MPSC queue
+/// per destination node. Producers push with a lock-free CAS loop
+/// (Treiber list — no mutex anywhere on the path); the single consumer
+/// for a destination detaches the whole list with one exchange and
+/// reverses it to recover FIFO order. Slots are cache-line separated so
+/// concurrent senders to different destinations never contend.
+class ConcurrentMailbox {
+ public:
+  explicit ConcurrentMailbox(NodeId k) : slots_(k) {}
+
+  ~ConcurrentMailbox() {
+    for (Slot& s : slots_) {
+      Node* n = s.head.exchange(nullptr, std::memory_order_acquire);
+      while (n != nullptr) {
+        Node* next = n->next;
+        delete n;
+        n = next;
+      }
+    }
+  }
+
+  ConcurrentMailbox(const ConcurrentMailbox&) = delete;
+  ConcurrentMailbox& operator=(const ConcurrentMailbox&) = delete;
+
+  /// Lock-free multi-producer push toward `to`.
+  void Push(NodeId to, NodeMessage msg) {
+    Node* n = new Node{std::move(msg), nullptr};
+    std::atomic<Node*>& head = slots_[to].head;
+    n->next = head.load(std::memory_order_relaxed);
+    while (!head.compare_exchange_weak(n->next, n, std::memory_order_release,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Detaches and returns every pending message for `to`, oldest first.
+  /// Must only be called by node `to`'s thread (single consumer).
+  std::vector<NodeMessage> Drain(NodeId to) {
+    Node* n = slots_[to].head.exchange(nullptr, std::memory_order_acquire);
+    std::vector<NodeMessage> out;
+    while (n != nullptr) {  // reverse the LIFO list into arrival order
+      out.push_back(std::move(n->msg));
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  /// True when no message is pending for `to` (racy by nature; used only
+  /// as a fast-path hint to skip an empty Drain).
+  bool Empty(NodeId to) const {
+    return slots_[to].head.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    NodeMessage msg;
+    Node* next;
+  };
+  struct alignas(64) Slot {
+    std::atomic<Node*> head{nullptr};
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace rnt::sim
+
+#endif  // RNT_SIM_MESSAGE_BUFFER_H_

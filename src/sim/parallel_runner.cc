@@ -1,0 +1,597 @@
+#include "sim/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "sim/message_buffer.h"
+
+namespace rnt::sim {
+
+namespace {
+
+using dist::ActionSummary;
+using dist::DistAlgebra;
+using dist::DistEvent;
+using dist::DistState;
+
+/// anc(A) ∩ summary.aborted ≠ ∅, judged from one node's local knowledge —
+/// the lose-lock precondition (f12) at this level.
+bool LocallyDead(const action::ActionRegistry& reg, const ActionSummary& t,
+                 ActionId a) {
+  for (ActionId c : reg.AncestorChain(a)) {
+    if (c != kRootAction && t.IsAborted(c)) return true;
+  }
+  return false;
+}
+
+/// Multi-threaded executor of ℬ: one free-running event loop per node.
+///
+/// Race-freedom rests on the algebra's structure, not on locks. Thread i
+/// exclusively owns state_.nodes[i] (every node event's precondition and
+/// effect touch only the doer's component — Local Domain / Local Changes,
+/// Lemma 22) and state_.buffer[i] (the Send effect (g21) merges into the
+/// *destination's* buffer, so the runner applies a Send on the receiving
+/// thread when the message is drained from the mailbox). The only
+/// cross-thread channel is the mutex-free ConcurrentMailbox.
+///
+/// The recorded event log is a valid ℬ computation in stamp order even
+/// though no thread ever checks a Send against the sender's component:
+/// summaries are monotone (entries are only added, statuses only advance),
+/// so a payload that was a sub-summary of the sender's knowledge when it
+/// was enqueued stays one at every later point — and the stamp counter is
+/// an RMW on one atomic, totally ordered consistently with the mailbox's
+/// release/acquire edges.
+class ParallelRunner {
+ public:
+  ParallelRunner(const DistAlgebra& alg, const ParallelOptions& options)
+      : alg_(alg),
+        topo_(alg.topology()),
+        reg_(alg.registry()),
+        options_(options),
+        state_(alg.Initial()),
+        mailbox_(topo_.k()),
+        children_(reg_.size()),
+        dead_(reg_.size(), 0),
+        workers_(topo_.k()) {}
+
+  StatusOr<ParallelRun> Run() {
+    RNT_RETURN_IF_ERROR(Validate());
+    Plan();
+    const NodeId k = topo_.k();
+    std::vector<std::thread> threads;
+    threads.reserve(k);
+    for (NodeId i = 0; i < k; ++i) {
+      threads.emplace_back([this, i] { RunNode(workers_[i]); });
+    }
+    for (std::thread& t : threads) t.join();
+    if (!first_error_.ok()) return first_error_;
+    return Assemble();
+  }
+
+ private:
+  struct ObjectWork {
+    ObjectId x = 0;
+    /// Live accesses on x in the DFS driver's perform order (the ticket
+    /// list); next is the cursor. Pinning per-object perform order to the
+    /// DFS order makes every wait point from a DFS-later access to a
+    /// DFS-earlier transaction — deadlock-free by the same argument as
+    /// the sequential driver, and value-for-value equivalent to it.
+    std::vector<ActionId> tickets;
+    std::size_t next = 0;
+    bool drained = false;
+  };
+
+  struct Worker {
+    NodeId id = 0;
+    /// Local obligations, in DFS order (parents before children).
+    std::vector<ActionId> creates;
+    std::vector<ActionId> aborts;   // abort_set members homed here
+    std::vector<ActionId> commits;  // live inner actions homed here
+    std::vector<ObjectWork> objects;
+    std::size_t next_create = 0;
+    std::vector<char> done_flag;    // per obligation list entry
+    std::vector<char> created;      // by ActionId, local creations only
+    /// Knowledge-shipping state: version bumps on every local summary
+    /// change; per-peer frontiers (kDelta) or last-shipped versions
+    /// (kEager) decide what the next flush sends.
+    std::uint64_t version = 0;
+    std::vector<ActionSummary> shipped;
+    std::vector<std::uint64_t> shipped_version;
+    /// Receiver-side fault machinery: messages held back by a delay
+    /// verdict, and the per-node injector for outgoing transmissions.
+    std::vector<NodeMessage> held;
+    std::unique_ptr<faults::FaultInjector> injector;
+    std::uint64_t idle = 0;
+    std::uint64_t passes = 0;
+    bool marked_done = false;
+    bool gave_up = false;
+    DriverStats stats;
+    std::vector<std::pair<std::uint64_t, DistEvent>> log;
+  };
+
+  Status Validate() const {
+    for (ActionId a : options_.abort_set) {
+      if (!reg_.Valid(a) || reg_.IsAccess(a) || a == kRootAction) {
+        return Status::InvalidArgument(
+            "abort_set must contain registered non-access actions");
+      }
+    }
+    if (options_.propagation == Propagation::kLazy) {
+      return Status::InvalidArgument(
+          "parallel runner is reactive: use kDelta or kEager propagation");
+    }
+    RNT_RETURN_IF_ERROR(faults::ValidatePlan(options_.plan, topo_.k()));
+    if (!options_.plan.crashes.empty() || !options_.plan.partitions.empty()) {
+      return Status::InvalidArgument(
+          "parallel runner injects message faults only; crash/partition "
+          "plans need the round-based chaos driver");
+    }
+    return Status::Ok();
+  }
+
+  /// Precomputes per-node obligation lists and per-object ticket lists
+  /// from one DFS walk of the universal tree (children in id order —
+  /// exactly the sequential driver's schedule).
+  void Plan() {
+    for (ActionId a = 1; a < reg_.size(); ++a) {
+      children_[reg_.Parent(a)].push_back(a);
+    }
+    const NodeId k = topo_.k();
+    for (NodeId i = 0; i < k; ++i) {
+      Worker& w = workers_[i];
+      w.id = i;
+      w.created.assign(reg_.size(), 0);
+      w.shipped.resize(k);
+      w.shipped_version.assign(k, 0);
+      faults::FaultPlan plan = options_.plan;
+      plan.seed = plan.seed * 1000003u + 17u * i + 1u;
+      w.injector = std::make_unique<faults::FaultInjector>(plan);
+    }
+    std::map<ObjectId, std::vector<ActionId>> tickets;
+    // DFS: schedule creates/aborts/commits/tickets; abort_set subtrees
+    // are pruned (their descendants are dead — never created anywhere).
+    std::vector<std::pair<ActionId, bool>> stack;  // (action, expanded)
+    for (auto it = children_[kRootAction].rbegin();
+         it != children_[kRootAction].rend(); ++it) {
+      stack.emplace_back(*it, false);
+    }
+    while (!stack.empty()) {
+      auto [a, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded) {
+        workers_[topo_.HomeOfAction(a)].commits.push_back(a);
+        continue;
+      }
+      workers_[topo_.Origin(a)].creates.push_back(a);
+      if (reg_.IsAccess(a)) {
+        tickets[reg_.Object(a)].push_back(a);
+        continue;
+      }
+      if (options_.abort_set.count(a)) {
+        workers_[topo_.HomeOfAction(a)].aborts.push_back(a);
+        for (ActionId d = 1; d < reg_.size(); ++d) {
+          if (reg_.IsProperAncestor(a, d)) dead_[d] = 1;
+        }
+        continue;  // subtree pruned
+      }
+      stack.emplace_back(a, true);  // commit after the subtree
+      for (auto it = children_[a].rbegin(); it != children_[a].rend(); ++it) {
+        stack.emplace_back(*it, false);
+      }
+    }
+    for (auto& [x, list] : tickets) {
+      ObjectWork ow;
+      ow.x = x;
+      ow.tickets = std::move(list);
+      workers_[topo_.HomeOfObject(x)].objects.push_back(std::move(ow));
+    }
+    // Objects may also carry locks without appearing in tickets (never:
+    // locks only arise from performs) — ticket objects suffice for drain.
+  }
+
+  // ----------------------------------------------------------------
+  // Per-node event loop.
+
+  void RunNode(Worker& w) {
+    const NodeId k = topo_.k();
+    while (!failed_.load(std::memory_order_acquire)) {
+      ++w.passes;
+      bool progress = false;
+      progress |= DeliverMail(w);
+      progress |= TryCreates(w);
+      progress |= TryAborts(w);
+      progress |= TryObjects(w);
+      progress |= TryCommits(w);
+      if (!w.marked_done && LocalDone(w)) {
+        w.marked_done = true;
+        done_nodes_.fetch_add(1, std::memory_order_acq_rel);
+        progress = true;
+      }
+      Flush(w);
+      if (done_nodes_.load(std::memory_order_acquire) == k) break;
+      if (progress) {
+        w.idle = 0;
+      } else {
+        ++w.idle;
+        if (options_.plan.drop_prob > 0 && options_.stall_retry_spins > 0 &&
+            w.idle % static_cast<std::uint64_t>(options_.stall_retry_spins) ==
+                0) {
+          // Anti-entropy: a dropped delta is gone for good, so a stalled
+          // node re-ships its full summary (still a legal sub-summary).
+          ++w.stats.retries;
+          FullBroadcast(w);
+        }
+        if (w.idle > options_.max_idle_spins && !w.marked_done) {
+          w.gave_up = true;  // abandon; others may still finish
+          w.marked_done = true;
+          done_nodes_.fetch_add(1, std::memory_order_acq_rel);
+        }
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  /// Applies one node event on its owning thread: Defined is checked
+  /// against the doer's own component only, so the check is race-free.
+  bool ApplyNodeEvent(Worker& w, DistEvent e) {
+    if (!alg_.Defined(state_, e)) {
+      Fail(Status::Internal("parallel runner: event unexpectedly undefined: " +
+                            dist::ToString(e)));
+      return false;
+    }
+    alg_.Apply(state_, e);
+    ++w.stats.node_events;
+    ++w.version;
+    Record(w, std::move(e));
+    return true;
+  }
+
+  void Record(Worker& w, DistEvent e) {
+    if (!options_.record_events) return;
+    w.log.emplace_back(seq_.fetch_add(1, std::memory_order_relaxed),
+                       std::move(e));
+  }
+
+  void Fail(Status s) {
+    bool expected = false;
+    if (failed_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      first_error_ = std::move(s);
+    }
+  }
+
+  /// Drains the mailbox and applies Send (merge into own buffer M_i) +
+  /// Receive (merge into own summary) per delivered message; messages
+  /// under a delay verdict are held for later passes (reordering).
+  bool DeliverMail(Worker& w) {
+    bool progress = false;
+    std::vector<NodeMessage> due;
+    for (NodeMessage& m : w.held) {
+      if (--m.delay <= 0) {
+        due.push_back(std::move(m));
+      }
+    }
+    std::erase_if(w.held, [](const NodeMessage& m) { return m.delay <= 0; });
+    if (!mailbox_.Empty(w.id)) {
+      for (NodeMessage& m : mailbox_.Drain(w.id)) {
+        if (m.delay > 0) {
+          ++w.stats.delayed_msgs;
+          w.held.push_back(std::move(m));
+        } else {
+          due.push_back(std::move(m));
+        }
+      }
+    }
+    for (NodeMessage& m : due) {
+      ++w.stats.messages;
+      w.stats.summary_entries += m.summary.size();
+      Record(w, DistEvent{dist::Send{m.from, w.id, m.summary}});
+      state_.buffer[w.id].MergeFrom(m.summary);  // (g21), on the receiver
+      Record(w, DistEvent{dist::Receive{w.id, m.summary}});
+      // The sender certainly knows what it sent: advancing our frontier
+      // for it suppresses echo traffic.
+      w.shipped[m.from].MergeFrom(m.summary);
+      if (state_.nodes[w.id].summary.MergeFrom(std::move(m.summary))) {
+        ++w.version;
+        progress = true;
+      }
+    }
+    return progress;
+  }
+
+  bool TryCreates(Worker& w) {
+    const ActionSummary& t = state_.nodes[w.id].summary;
+    bool progress = false;
+    // Creates are in DFS order, so a blocked parent blocks its (local)
+    // descendants too; scan past blocked entries anyway — different
+    // subtrees interleave on one node.
+    for (std::size_t idx = w.next_create; idx < w.creates.size(); ++idx) {
+      ActionId a = w.creates[idx];
+      if (w.created[a]) continue;
+      ActionId p = reg_.Parent(a);
+      if (p != kRootAction && (!t.Contains(p) || t.IsCommitted(p))) continue;
+      if (!ApplyNodeEvent(w, DistEvent{dist::NodeCreate{w.id, a}})) {
+        return progress;
+      }
+      w.created[a] = 1;
+      progress = true;
+    }
+    while (w.next_create < w.creates.size() &&
+           w.created[w.creates[w.next_create]]) {
+      ++w.next_create;
+    }
+    return progress;
+  }
+
+  bool TryAborts(Worker& w) {
+    bool progress = false;
+    if (w.done_flag.empty()) {
+      // done flags: one vector spanning aborts then commits.
+      w.done_flag.assign(w.aborts.size() + w.commits.size(), 0);
+    }
+    for (std::size_t i = 0; i < w.aborts.size(); ++i) {
+      if (w.done_flag[i]) continue;
+      ActionId a = w.aborts[i];
+      if (!state_.nodes[w.id].summary.IsActive(a)) continue;
+      if (!ApplyNodeEvent(w, DistEvent{dist::NodeAbort{w.id, a}})) {
+        return progress;
+      }
+      w.done_flag[i] = 1;
+      ++w.stats.aborts;
+      progress = true;
+    }
+    return progress;
+  }
+
+  bool TryCommits(Worker& w) {
+    if (w.done_flag.empty()) {
+      w.done_flag.assign(w.aborts.size() + w.commits.size(), 0);
+    }
+    const ActionSummary& t = state_.nodes[w.id].summary;
+    bool progress = false;
+    for (std::size_t i = 0; i < w.commits.size(); ++i) {
+      std::size_t flag = w.aborts.size() + i;
+      if (w.done_flag[flag]) continue;
+      ActionId a = w.commits[i];
+      if (!t.IsActive(a)) continue;
+      // Stronger than ℬ's (b12): every live child must be *created* (all
+      // of a's children are created on this very node, so this is a local
+      // check) and *done* in local knowledge — the same strengthening the
+      // chaos driver documents, needed for the level-4 image.
+      bool ready = true;
+      for (ActionId c : children_[a]) {
+        if (dead_[c]) continue;
+        if (!w.created[c] || !t.IsDone(c)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      if (!ApplyNodeEvent(w, DistEvent{dist::NodeCommit{w.id, a}})) {
+        return progress;
+      }
+      w.done_flag[flag] = 1;
+      ++w.stats.commits;
+      progress = true;
+    }
+    return progress;
+  }
+
+  /// Performs the ticket-head access of each local object once its lock
+  /// chain clears, walking blockers (release committed / lose dead) as
+  /// far as local knowledge allows; after the last ticket, drains the
+  /// object's locks to the root U the same way.
+  bool TryObjects(Worker& w) {
+    bool progress = false;
+    for (ObjectWork& ow : w.objects) {
+      if (ow.next < ow.tickets.size()) {
+        ActionId a = ow.tickets[ow.next];
+        if (!state_.nodes[w.id].summary.IsActive(a)) continue;
+        if (!WalkLocks(w, ow.x, a, &progress)) continue;  // still blocked
+        Value u = state_.nodes[w.id].vmap.PrincipalValue(ow.x, reg_);
+        if (!ApplyNodeEvent(w, DistEvent{dist::NodePerform{w.id, a, u}})) {
+          return progress;
+        }
+        ++w.stats.performs;
+        ++ow.next;
+        progress = true;
+      } else if (!ow.drained) {
+        if (WalkLocks(w, ow.x, kInvalidAction, &progress)) {
+          ow.drained = true;
+          progress = true;
+        }
+      }
+    }
+    return progress;
+  }
+
+  /// Walks blocking locks on x as far as local knowledge allows. Returns
+  /// true when no blocker remains for `requester` (kInvalidAction: for
+  /// anything but the root). Sets *progress on each applied walk event.
+  bool WalkLocks(Worker& w, ObjectId x, ActionId requester, bool* progress) {
+    const ActionSummary& t = state_.nodes[w.id].summary;
+    for (;;) {
+      const auto* entry = state_.nodes[w.id].vmap.EntriesFor(x);
+      if (entry == nullptr) return true;
+      ActionId blocker = kInvalidAction;
+      for (const auto& [b, v] : *entry) {
+        if (b != kRootAction &&
+            (requester == kInvalidAction ||
+             !reg_.IsProperAncestor(b, requester))) {
+          blocker = b;
+          break;
+        }
+      }
+      if (blocker == kInvalidAction) return true;
+      if (LocallyDead(reg_, t, blocker)) {
+        if (!ApplyNodeEvent(w,
+                            DistEvent{dist::NodeLoseLock{w.id, blocker, x}})) {
+          return false;
+        }
+        ++w.stats.loses;
+        *progress = true;
+      } else if (t.IsCommitted(blocker)) {
+        if (!ApplyNodeEvent(
+                w, DistEvent{dist::NodeReleaseLock{w.id, blocker, x}})) {
+          return false;
+        }
+        ++w.stats.releases;
+        *progress = true;
+      } else {
+        return false;  // knowledge not here yet; broadcasts will bring it
+      }
+    }
+  }
+
+  bool LocalDone(const Worker& w) {
+    if (w.next_create < w.creates.size()) return false;
+    if (w.done_flag.size() < w.aborts.size() + w.commits.size()) {
+      return w.aborts.empty() && w.commits.empty() && w.objects.empty();
+    }
+    for (char f : w.done_flag) {
+      if (!f) return false;
+    }
+    for (const ObjectWork& ow : w.objects) {
+      if (ow.next < ow.tickets.size() || !ow.drained) return false;
+    }
+    return true;
+  }
+
+  // ----------------------------------------------------------------
+  // Knowledge shipping.
+
+  /// Ships pending knowledge to every peer. Under kDelta only the entries
+  /// beyond the per-peer frontier travel — everything that accumulated
+  /// since the last flush coalesces into a single message per peer.
+  void Flush(Worker& w) {
+    const NodeId k = topo_.k();
+    const ActionSummary& t = state_.nodes[w.id].summary;
+    if (t.empty()) return;
+    for (NodeId j = 0; j < k; ++j) {
+      if (j == w.id) continue;
+      if (options_.propagation == Propagation::kDelta) {
+        ActionSummary delta = t.DeltaSince(w.shipped[j]);
+        if (delta.empty()) continue;
+        w.shipped[j].MergeFrom(delta);
+        Transmit(w, j, std::move(delta));
+      } else {  // kEager: full summary whenever anything changed
+        if (w.shipped_version[j] == w.version) continue;
+        w.shipped_version[j] = w.version;
+        Transmit(w, j, t);
+      }
+    }
+  }
+
+  void FullBroadcast(Worker& w) {
+    const ActionSummary& t = state_.nodes[w.id].summary;
+    if (t.empty()) return;
+    for (NodeId j = 0; j < topo_.k(); ++j) {
+      if (j != w.id) Transmit(w, j, t);
+    }
+  }
+
+  /// Pushes one transmission through the (possibly chaotic) concurrent
+  /// buffer. The Send event itself is applied — and stamped — on the
+  /// receiving thread at drain time; a dropped transmission therefore
+  /// never becomes an event at all, exactly like the chaos driver's
+  /// lost-before-the-buffer semantics.
+  void Transmit(Worker& w, NodeId to, ActionSummary payload) {
+    faults::FaultInjector::Verdict v = w.injector->OnMessage(
+        w.id, to, static_cast<int>(w.passes & 0x7fffffff));
+    if (v.drop) {
+      ++w.stats.dropped_msgs;
+      return;
+    }
+    if (v.duplicate_delay >= 0) {
+      ++w.stats.duplicated_msgs;
+      mailbox_.Push(to, NodeMessage{w.id, payload,
+                                    std::max(1, v.duplicate_delay)});
+    }
+    mailbox_.Push(to, NodeMessage{w.id, std::move(payload), v.delay});
+  }
+
+  // ----------------------------------------------------------------
+
+  StatusOr<ParallelRun> Assemble() {
+    ParallelRun run;
+    run.final_state = std::move(state_);
+    std::size_t total = 0;
+    for (Worker& w : workers_) {
+      run.stats.node_events += w.stats.node_events;
+      run.stats.messages += w.stats.messages;
+      run.stats.summary_entries += w.stats.summary_entries;
+      run.stats.performs += w.stats.performs;
+      run.stats.commits += w.stats.commits;
+      run.stats.aborts += w.stats.aborts;
+      run.stats.releases += w.stats.releases;
+      run.stats.loses += w.stats.loses;
+      run.stats.retries += w.stats.retries;
+      run.stats.dropped_msgs += w.stats.dropped_msgs;
+      run.stats.duplicated_msgs += w.stats.duplicated_msgs;
+      run.stats.delayed_msgs += w.stats.delayed_msgs;
+      run.stats.rounds = std::max(run.stats.rounds,
+                                  static_cast<int>(std::min<std::uint64_t>(
+                                      w.passes, 0x7fffffff)));
+      if (w.gave_up) run.complete = false;
+      total += w.log.size();
+    }
+    if (options_.record_events) {
+      std::vector<std::pair<std::uint64_t, DistEvent>> merged;
+      merged.reserve(total);
+      for (Worker& w : workers_) {
+        std::move(w.log.begin(), w.log.end(), std::back_inserter(merged));
+        w.log.clear();
+      }
+      std::sort(merged.begin(), merged.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      run.events.reserve(merged.size());
+      for (auto& [stamp, e] : merged) run.events.push_back(std::move(e));
+    }
+    return run;
+  }
+
+  const DistAlgebra& alg_;
+  const dist::Topology& topo_;
+  const action::ActionRegistry& reg_;
+  const ParallelOptions& options_;
+  DistState state_;
+  ConcurrentMailbox mailbox_;
+  std::vector<std::vector<ActionId>> children_;
+  std::vector<char> dead_;
+  std::vector<Worker> workers_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint32_t> done_nodes_{0};
+  std::atomic<bool> failed_{false};
+  std::mutex error_mu_;
+  Status first_error_ = Status::Ok();
+};
+
+}  // namespace
+
+StatusOr<ParallelRun> RunParallel(const dist::DistAlgebra& alg,
+                                  const ParallelOptions& options) {
+  ParallelRunner runner(alg, options);
+  return runner.Run();
+}
+
+StatusOr<valuemap::ValState> ReplayAbstract(
+    const dist::DistAlgebra& alg, std::span<const dist::DistEvent> events) {
+  valuemap::ValueMapAlgebra val_alg(&alg.registry());
+  valuemap::ValState s = val_alg.Initial();
+  for (const dist::DistEvent& e : events) {
+    std::optional<algebra::LockEvent> image = dist::DistToValueEvent(e);
+    if (!image.has_value()) continue;  // send/receive -> Λ
+    if (!val_alg.Defined(s, *image)) {
+      return Status::Internal(
+          "refinement violated: no level-4 image for " + dist::ToString(e));
+    }
+    val_alg.Apply(s, *image);
+  }
+  return s;
+}
+
+}  // namespace rnt::sim

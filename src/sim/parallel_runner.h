@@ -1,0 +1,85 @@
+#ifndef RNT_SIM_PARALLEL_RUNNER_H_
+#define RNT_SIM_PARALLEL_RUNNER_H_
+
+#include <cstdint>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/dist_algebra.h"
+#include "faults/faults.h"
+#include "sim/dist_driver.h"
+#include "valuemap/value_map_algebra.h"
+
+namespace rnt::sim {
+
+/// Options for a multi-threaded execution of the distributed algebra ℬ.
+struct ParallelOptions {
+  /// Knowledge policy. The runner is reactive (nodes learn, they are not
+  /// asked), so it supports the two broadcast policies: kEager ships the
+  /// doer's full summary after every change; kDelta ships only the
+  /// entries new since the last send to each peer (per-peer frontiers),
+  /// and deltas accumulated between flushes coalesce into one message.
+  /// kLazy needs a request channel the runner does not have — rejected.
+  Propagation propagation = Propagation::kDelta;
+  /// Actions to abort (instead of commit) once created; their descendants
+  /// are never created. Same contract as DriverOptions::abort_set.
+  std::set<ActionId> abort_set;
+  /// Message faults injected into the concurrent buffer (drop/duplicate/
+  /// delay — delays of distinct messages reorder them). Crash and
+  /// partition specs are rejected: they require the round-based recovery
+  /// machinery of the chaos driver, not the free-running loops here.
+  faults::FaultPlan plan;
+  /// Consecutive no-progress loop passes before a node re-broadcasts its
+  /// full summary (the anti-entropy retry that makes dropped deltas
+  /// recoverable; counted in stats.retries).
+  int stall_retry_spins = 64;
+  /// Consecutive no-progress passes before a node abandons its remaining
+  /// obligations (returns an incomplete run rather than spinning forever;
+  /// only reachable under adversarial fault plans or driver bugs).
+  std::uint64_t max_idle_spins = 1u << 20;
+  /// Record the applied ℬ events (globally stamped, mergeable into one
+  /// valid computation). Disable for wall-clock benchmarking.
+  bool record_events = true;
+};
+
+/// Result of a parallel run.
+struct ParallelRun {
+  DriverStats stats;
+  dist::DistState final_state;
+  /// The applied events of all nodes, merged in global stamp order — a
+  /// valid computation of ℬ (checked by tests via IsValidSequence): every
+  /// payload is a sub-summary of the sender's monotone knowledge, so a
+  /// Send stays legal at any later point in the interleaving.
+  std::vector<dist::DistEvent> events;
+  /// False when some node abandoned obligations after max_idle_spins.
+  bool complete = true;
+};
+
+/// Executes the entire registered program on ℬ with one thread per node:
+/// each node runs a reactive event loop against its own component of the
+/// state (the algebra's Local Domain / Local Changes properties make the
+/// state partition race-free by construction) and the mutex-free
+/// ConcurrentMailbox carries summaries between nodes.
+///
+/// Scheduling discipline: per-object perform order is pinned to the
+/// sequential driver's DFS order (a ticket list per object). Waits then
+/// only ever point from a DFS-later access to a DFS-earlier transaction,
+/// so the runner is deadlock-free by the same argument as the DFS driver,
+/// and final value maps are *identical* to RunProgram's on every program
+/// — the parallelism changes the interleaving, never the outcome.
+StatusOr<ParallelRun> RunParallel(const dist::DistAlgebra& alg,
+                                  const ParallelOptions& options = {});
+
+/// Replays a recorded ℬ computation bottom-up through the level-4 algebra
+/// (send/receive map to Λ): returns the abstract (tree, value-map) state,
+/// or kInternal if some event's image is undefined — the refinement
+/// obligation a valid run must never trip. Used to judge parallel runs
+/// with the Theorem 9 checker.
+StatusOr<valuemap::ValState> ReplayAbstract(
+    const dist::DistAlgebra& alg, std::span<const dist::DistEvent> events);
+
+}  // namespace rnt::sim
+
+#endif  // RNT_SIM_PARALLEL_RUNNER_H_

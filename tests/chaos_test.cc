@@ -340,6 +340,99 @@ TEST(ChaosDriverTest, SweepManySeedsAlwaysSerializable) {
   }
 }
 
+/// Message-fault plan for the concurrent buffer: drop/duplicate/delay
+/// only (distinct delays reorder deliveries); no crashes or partitions,
+/// which the parallel runner rejects.
+faults::FaultPlan MessageChaosPlan(std::uint64_t seed) {
+  faults::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_prob = 0.2;
+  plan.dup_prob = 0.2;
+  plan.delay_prob = 0.3;
+  plan.max_delay_rounds = 3;
+  return plan;
+}
+
+TEST(ConcurrentChaosTest, DeltaModeSurvivesDropDupReorder) {
+  // Drop/duplicate/reorder injected into the *concurrent* (multi-thread)
+  // buffer while delta propagation runs: dropped deltas are recovered by
+  // the anti-entropy full-summary retry, duplicates are absorbed by merge
+  // idempotence, and reordering is absorbed by merge commutativity. Every
+  // run must finish with the sequential driver's final values and pass
+  // the Theorem 9 checker.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    ActionRegistry reg = MediumRegistry(seed * 13 + 3);
+    dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+    dist::DistAlgebra alg(&topo);
+    auto clean = RunProgram(alg);
+    ASSERT_TRUE(clean.ok()) << clean.status() << " seed " << seed;
+
+    ChaosOptions opt;
+    opt.concurrent_buffer = true;
+    opt.propagation = Propagation::kDelta;
+    opt.plan = MessageChaosPlan(seed * 7 + 1);
+    opt.check_invariants = true;
+    auto run = ChaosRunProgram(alg, opt);
+    ASSERT_TRUE(run.ok()) << run.status() << " seed " << seed;
+    EXPECT_TRUE(run->complete) << run->stalls.ToString() << " seed " << seed;
+    for (ObjectId x = 0; x < 4; ++x) {
+      NodeId h = topo.HomeOfObject(x);
+      EXPECT_EQ(run->final_state.nodes[h].vmap.Get(x, kRootAction),
+                clean->final_state.nodes[h].vmap.Get(x, kRootAction))
+          << "object " << x << " seed " << seed;
+    }
+    EXPECT_TRUE(algebra::IsValidSequence(
+        alg, std::span<const dist::DistEvent>(run->events)))
+        << "seed " << seed;
+    EXPECT_TRUE(aat::IsPermDataSerializable(run->abstract.tree))
+        << "seed " << seed;
+  }
+}
+
+TEST(ConcurrentChaosTest, EagerModeSurvivesMessageChaosWithAborts) {
+  ActionRegistry reg = MediumRegistry(17);
+  std::set<ActionId> abort_set;
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    if (!reg.IsAccess(a) && reg.Parent(a) != kRootAction) {
+      abort_set.insert(a);
+      break;
+    }
+  }
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra alg(&topo);
+  DriverOptions seq_opt;
+  seq_opt.abort_set = abort_set;
+  auto clean = RunProgram(alg, seq_opt);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+
+  ChaosOptions opt;
+  opt.concurrent_buffer = true;
+  opt.propagation = Propagation::kEager;
+  opt.abort_set = abort_set;
+  opt.plan = MessageChaosPlan(5);
+  auto run = ChaosRunProgram(alg, opt);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->complete);
+  EXPECT_EQ(run->stats.aborts, abort_set.size());
+  for (ObjectId x = 0; x < 4; ++x) {
+    NodeId h = topo.HomeOfObject(x);
+    EXPECT_EQ(run->final_state.nodes[h].vmap.Get(x, kRootAction),
+              clean->final_state.nodes[h].vmap.Get(x, kRootAction));
+  }
+  EXPECT_TRUE(aat::IsPermDataSerializable(run->abstract.tree));
+}
+
+TEST(ConcurrentChaosTest, RejectsCrashPlansOnConcurrentBuffer) {
+  ActionRegistry reg = MediumRegistry(2);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 2);
+  dist::DistAlgebra alg(&topo);
+  ChaosOptions opt;
+  opt.concurrent_buffer = true;
+  opt.plan = ChaoticPlan(1);  // includes crashes and a partition
+  auto run = ChaosRunProgram(alg, opt);
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ChaosDriverTest, ToFaultStatsProjectsCounters) {
   DriverStats stats;
   stats.retries = 3;

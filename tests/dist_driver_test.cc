@@ -231,6 +231,115 @@ TEST(DistDriverTest, EagerPropagationWithAbortsMatchesLazy) {
   }
 }
 
+TEST(DistDriverTest, DeltaPropagationMatchesLazyAndEager) {
+  // The tentpole property of the kDelta policy: identical semantics,
+  // never more messages than kLazy (empty deltas are skipped), and
+  // strictly fewer shipped summary entries once summaries have grown.
+  Rng rng(23);
+  testutil::RandomRegistryParams p;
+  p.top_level = 4;
+  p.max_children = 3;
+  p.max_depth = 3;
+  p.objects = 5;
+  ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 4);
+  dist::DistAlgebra alg(&topo);
+  DriverOptions lazy;
+  lazy.propagation = Propagation::kLazy;
+  auto lrun = RunProgram(alg, lazy);
+  ASSERT_TRUE(lrun.ok()) << lrun.status();
+  DriverOptions eager;
+  eager.propagation = Propagation::kEager;
+  auto erun = RunProgram(alg, eager);
+  ASSERT_TRUE(erun.ok()) << erun.status();
+  DriverOptions delta;
+  delta.propagation = Propagation::kDelta;
+  auto drun = RunProgram(alg, delta);
+  ASSERT_TRUE(drun.ok()) << drun.status();
+
+  EXPECT_LE(drun->stats.messages, lrun->stats.messages)
+      << "a delta sync point is a lazy sync point, minus empty payloads";
+  EXPECT_LT(drun->stats.summary_entries, lrun->stats.summary_entries)
+      << "incremental payloads beat full-summary payloads";
+  EXPECT_LT(drun->stats.summary_entries, erun->stats.summary_entries);
+  EXPECT_EQ(drun->stats.performs, lrun->stats.performs);
+  EXPECT_EQ(drun->stats.commits, lrun->stats.commits);
+  for (ObjectId x = 0; x < 5; ++x) {
+    NodeId h = topo.HomeOfObject(x);
+    EXPECT_EQ(drun->final_state.nodes[h].vmap.Get(x, kRootAction),
+              lrun->final_state.nodes[h].vmap.Get(x, kRootAction))
+        << "object " << x;
+  }
+}
+
+TEST(DistDriverTest, DeltaPropagationWithAbortsMatchesLazy) {
+  Rng rng(29);
+  testutil::RandomRegistryParams p;
+  p.top_level = 3;
+  p.max_children = 3;
+  p.max_depth = 3;
+  p.objects = 4;
+  ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+  std::set<ActionId> abort_set;
+  for (ActionId a = 1; a < reg.size(); ++a) {
+    if (!reg.IsAccess(a) && reg.Parent(a) != kRootAction) {
+      abort_set.insert(a);
+      break;
+    }
+  }
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra alg(&topo);
+  DriverOptions lazy;
+  lazy.abort_set = abort_set;
+  auto lrun = RunProgram(alg, lazy);
+  ASSERT_TRUE(lrun.ok()) << lrun.status();
+  DriverOptions delta;
+  delta.propagation = Propagation::kDelta;
+  delta.abort_set = abort_set;
+  auto drun = RunProgram(alg, delta);
+  ASSERT_TRUE(drun.ok()) << drun.status();
+  EXPECT_EQ(drun->stats.aborts, lrun->stats.aborts);
+  EXPECT_EQ(drun->stats.performs, lrun->stats.performs);
+  EXPECT_LE(drun->stats.messages, lrun->stats.messages);
+  for (ObjectId x = 0; x < 4; ++x) {
+    NodeId h = topo.HomeOfObject(x);
+    EXPECT_EQ(drun->final_state.nodes[h].vmap.Get(x, kRootAction),
+              lrun->final_state.nodes[h].vmap.Get(x, kRootAction));
+  }
+}
+
+TEST(DistDriverTest, DeltaEntriesScaleLinearlyNotQuadratically) {
+  // With full-summary shipping, entry traffic grows ~quadratically in
+  // program size (each message re-ships the whole history); with deltas
+  // each (peer, entry, status-change) ships once from a given node, so
+  // doubling the program should much less than quadruple delta entries.
+  auto entries_for = [](int tops, Propagation prop) -> std::uint64_t {
+    Rng rng(91);
+    testutil::RandomRegistryParams p;
+    p.top_level = tops;
+    p.max_children = 3;
+    p.max_depth = 3;
+    p.objects = 6;
+    ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+    dist::Topology topo = dist::Topology::RoundRobin(&reg, 4);
+    dist::DistAlgebra alg(&topo);
+    DriverOptions opt;
+    opt.propagation = prop;
+    auto run = RunProgram(alg, opt);
+    EXPECT_TRUE(run.ok()) << run.status();
+    return run.ok() ? run->stats.summary_entries : 0;
+  };
+  std::uint64_t lazy_small = entries_for(3, Propagation::kLazy);
+  std::uint64_t lazy_big = entries_for(6, Propagation::kLazy);
+  std::uint64_t delta_small = entries_for(3, Propagation::kDelta);
+  std::uint64_t delta_big = entries_for(6, Propagation::kDelta);
+  ASSERT_GT(delta_small, 0u);
+  double lazy_ratio = static_cast<double>(lazy_big) / lazy_small;
+  double delta_ratio = static_cast<double>(delta_big) / delta_small;
+  EXPECT_LT(delta_ratio, lazy_ratio)
+      << "delta traffic grows slower than full-summary traffic";
+}
+
 TEST(DiagnosisTest, NamesLiveActionsAndTheirBlockers) {
   // Hand-built stalled state: t1's access a1 performed and holds the
   // lock; t2's access a2 is created but cannot perform past it.

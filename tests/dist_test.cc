@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "algebra/algebra.h"
 #include "testutil.h"
 
@@ -49,6 +51,116 @@ TEST(ActionSummaryTest, SubsummaryRelation) {
   ActionSummary stranger;
   stranger.AddActive(9);
   EXPECT_FALSE(stranger.IsSubsummaryOf(big));
+}
+
+/// A random summary over actions 1..n: each entry is absent, active, or
+/// advanced to the action's (deterministic) final status. Statuses are
+/// truthful — two summaries never disagree on an action's fate, mirroring
+/// the algebra's invariant that only the home node decides it — so merge
+/// must be idempotent and commutative over any pair drawn here.
+ActionSummary RandomSummary(Rng& rng, ActionId n) {
+  ActionSummary s;
+  for (ActionId a = 1; a <= n; ++a) {
+    if (rng.Chance(0.3)) continue;
+    s.AddActive(a);
+    if (rng.Chance(0.5)) {
+      s.SetStatus(a, a % 2 == 0 ? ActionStatus::kCommitted
+                                : ActionStatus::kAborted);
+    }
+  }
+  return s;
+}
+
+TEST(ActionSummaryTest, MergeIsIdempotentAndCommutative) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    ActionSummary a = RandomSummary(rng, 12);
+    ActionSummary b = RandomSummary(rng, 12);
+    ActionSummary ab = a;
+    EXPECT_FALSE(ab.MergeFrom(a)) << "self-merge reports no change";
+    ab.MergeFrom(b);
+    ActionSummary ba = b;
+    ba.MergeFrom(a);
+    EXPECT_EQ(ab, ba) << "merge is commutative, seed " << seed;
+    ActionSummary abb = ab;
+    EXPECT_FALSE(abb.MergeFrom(b)) << "re-merge is a no-op, seed " << seed;
+    EXPECT_EQ(abb, ab) << "merge is idempotent, seed " << seed;
+  }
+}
+
+TEST(ActionSummaryTest, MergeSkipsKnownEntriesButUpgradesStatus) {
+  ActionSummary know;
+  know.AddActive(1);
+  know.AddActive(2);
+  know.SetStatus(2, ActionStatus::kCommitted);
+  ActionSummary in;
+  in.AddActive(1);
+  in.SetStatus(1, ActionStatus::kAborted);
+  in.AddActive(2);  // stale: active
+  in.AddActive(3);  // new
+  EXPECT_TRUE(know.MergeFrom(in));
+  EXPECT_TRUE(know.IsAborted(1)) << "status upgrade applied";
+  EXPECT_TRUE(know.IsCommitted(2)) << "stale entry ignored";
+  EXPECT_TRUE(know.IsActive(3)) << "new entry added";
+}
+
+TEST(ActionSummaryTest, RvalueMergeMatchesLvalueMerge) {
+  for (std::uint64_t seed = 40; seed < 50; ++seed) {
+    Rng rng(seed);
+    ActionSummary a = RandomSummary(rng, 10);
+    ActionSummary b = RandomSummary(rng, 10);
+    ActionSummary via_copy = a;
+    via_copy.MergeFrom(b);
+    ActionSummary via_move = a;
+    ActionSummary b_moved = b;
+    via_move.MergeFrom(std::move(b_moved));
+    EXPECT_EQ(via_move, via_copy) << "seed " << seed;
+  }
+}
+
+TEST(ActionSummaryTest, DeltaSinceCoversExactlyTheFrontierGap) {
+  for (std::uint64_t seed = 60; seed < 80; ++seed) {
+    Rng rng(seed);
+    ActionSummary full = RandomSummary(rng, 12);
+    // A frontier is knowledge already shipped: any sub-summary.
+    ActionSummary frontier = full.RandomSub(rng);
+    ActionSummary delta = full.DeltaSince(frontier);
+    EXPECT_TRUE(delta.IsSubsummaryOf(full))
+        << "every delta is a legal sub-summary, seed " << seed;
+    ActionSummary rebuilt = frontier;
+    rebuilt.MergeFrom(delta);
+    EXPECT_EQ(rebuilt, full)
+        << "frontier ∪ delta == full summary, seed " << seed;
+    EXPECT_TRUE(full.DeltaSince(full).empty()) << "no gap, no delta";
+  }
+}
+
+TEST(ActionSummaryTest, FrontierIsMonotoneUnderRepeatedDeltas) {
+  // Simulate a peer link: knowledge grows, deltas ship, the frontier only
+  // ever gains entries/status — and consecutive deltas coalesce into one
+  // legal payload.
+  Rng rng(7);
+  ActionSummary know, frontier;
+  for (int round = 0; round < 30; ++round) {
+    ActionId a = static_cast<ActionId>(rng.Below(15) + 1);
+    if (!know.Contains(a)) {
+      know.AddActive(a);
+    } else if (know.IsActive(a)) {
+      know.SetStatus(a, rng.Chance(0.5) ? ActionStatus::kCommitted
+                                        : ActionStatus::kAborted);
+    }
+    ActionSummary before = frontier;
+    ActionSummary delta = know.DeltaSince(frontier);
+    // Coalescing: two pending deltas merged equal one delta computed late.
+    ActionSummary d2 = know.DeltaSince(frontier);
+    ActionSummary coalesced = delta;
+    coalesced.MergeFrom(d2);
+    EXPECT_TRUE(coalesced.IsSubsummaryOf(know))
+        << "coalesced deltas stay legal sub-summaries";
+    frontier.MergeFrom(delta);
+    EXPECT_TRUE(before.IsSubsummaryOf(frontier)) << "frontier is monotone";
+    EXPECT_EQ(frontier, know) << "after shipping, peer is caught up";
+  }
 }
 
 TEST(ActionSummaryTest, RandomSubIsAlwaysSubsummary) {

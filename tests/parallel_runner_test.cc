@@ -1,0 +1,247 @@
+#include "sim/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "aat/aat.h"
+#include "algebra/algebra.h"
+#include "sim/message_buffer.h"
+#include "testutil.h"
+
+namespace rnt::sim {
+namespace {
+
+using action::ActionRegistry;
+using action::Update;
+
+TEST(ConcurrentMailboxTest, FifoPerDestination) {
+  ConcurrentMailbox mb(2);
+  for (int i = 0; i < 5; ++i) {
+    dist::ActionSummary s;
+    s.AddActive(static_cast<ActionId>(i + 1));
+    mb.Push(1, NodeMessage{0, std::move(s)});
+  }
+  EXPECT_TRUE(mb.Empty(0));
+  EXPECT_FALSE(mb.Empty(1));
+  std::vector<NodeMessage> got = mb.Drain(1);
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(got[i].summary.Contains(static_cast<ActionId>(i + 1)))
+        << "oldest first";
+  }
+  EXPECT_TRUE(mb.Empty(1));
+}
+
+TEST(ConcurrentMailboxTest, ConcurrentProducersLoseNothing) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  ConcurrentMailbox mb(1);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&mb, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        dist::ActionSummary s;
+        s.AddActive(static_cast<ActionId>(p * kPerProducer + i + 1));
+        mb.Push(0, NodeMessage{static_cast<NodeId>(p), std::move(s)});
+      }
+    });
+  }
+  std::vector<NodeMessage> got;
+  // Drain concurrently with the producers; the tail drains after join.
+  for (int spin = 0; spin < 100; ++spin) {
+    for (NodeMessage& m : mb.Drain(0)) got.push_back(std::move(m));
+  }
+  for (std::thread& t : producers) t.join();
+  for (NodeMessage& m : mb.Drain(0)) got.push_back(std::move(m));
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::set<ActionId> ids;
+  for (const NodeMessage& m : got) {
+    ASSERT_EQ(m.summary.size(), 1u);
+    ids.insert(m.summary.entries().begin()->first);
+  }
+  EXPECT_EQ(ids.size(), got.size()) << "no duplicate, no loss";
+}
+
+TEST(ParallelRunnerTest, SingleNodeMatchesSequential) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  reg.NewAccess(t, 0, Update::Add(5));
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 1);
+  dist::DistAlgebra alg(&topo);
+  auto run = RunParallel(alg);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->complete);
+  EXPECT_EQ(run->stats.performs, 1u);
+  EXPECT_EQ(run->stats.commits, 1u);
+  EXPECT_EQ(run->stats.messages, 0u);
+  EXPECT_EQ(run->final_state.nodes[0].vmap.Get(0, kRootAction), 5);
+}
+
+/// The headline guarantee: the multi-threaded runner computes the same
+/// final value maps as the sequential DFS driver on every program, and
+/// its merged event log is a valid computation of ℬ whose abstract image
+/// passes the Theorem 9 serializability check.
+void CheckEquivalence(std::uint64_t seed, Propagation prop,
+                      const std::set<ActionId>* abort_set_hint) {
+  Rng rng(seed);
+  testutil::RandomRegistryParams p;
+  p.top_level = 3;
+  p.max_children = 3;
+  p.max_depth = 3;
+  p.objects = 4;
+  ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+  std::set<ActionId> abort_set;
+  if (abort_set_hint == nullptr) {
+    // Abort the first inner action under a top-level txn, when one exists.
+    for (ActionId a = 1; a < reg.size(); ++a) {
+      if (!reg.IsAccess(a) && reg.Parent(a) != kRootAction) {
+        abort_set.insert(a);
+        break;
+      }
+    }
+  } else {
+    abort_set = *abort_set_hint;
+  }
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 3);
+  dist::DistAlgebra alg(&topo);
+
+  DriverOptions seq_opt;
+  seq_opt.abort_set = abort_set;
+  auto seq = RunProgram(alg, seq_opt);
+  ASSERT_TRUE(seq.ok()) << seq.status() << " seed " << seed;
+
+  ParallelOptions par_opt;
+  par_opt.propagation = prop;
+  par_opt.abort_set = abort_set;
+  auto par = RunParallel(alg, par_opt);
+  ASSERT_TRUE(par.ok()) << par.status() << " seed " << seed;
+  EXPECT_TRUE(par->complete) << "seed " << seed;
+
+  // Same semantic outcome: identical counts of the semantic events and
+  // identical final value for every object at its home. (Lock-walk event
+  // counts may differ: the parallel drain releases eagerly.)
+  EXPECT_EQ(par->stats.performs, seq->stats.performs) << "seed " << seed;
+  EXPECT_EQ(par->stats.commits, seq->stats.commits) << "seed " << seed;
+  EXPECT_EQ(par->stats.aborts, seq->stats.aborts) << "seed " << seed;
+  for (ObjectId x = 0; x < static_cast<ObjectId>(p.objects); ++x) {
+    NodeId h = topo.HomeOfObject(x);
+    EXPECT_EQ(par->final_state.nodes[h].vmap.Get(x, kRootAction),
+              seq->final_state.nodes[h].vmap.Get(x, kRootAction))
+        << "object " << x << " seed " << seed;
+  }
+
+  // The merged log is a valid ℬ computation...
+  EXPECT_TRUE(algebra::IsValidSequence(
+      alg, std::span<const dist::DistEvent>(par->events)))
+      << "seed " << seed;
+  // ...whose abstract image exists and is perm-data-serializable.
+  auto abstract =
+      ReplayAbstract(alg, std::span<const dist::DistEvent>(par->events));
+  ASSERT_TRUE(abstract.ok()) << abstract.status() << " seed " << seed;
+  EXPECT_TRUE(aat::IsPermDataSerializable(abstract->tree)) << "seed " << seed;
+}
+
+TEST(ParallelRunnerTest, DeltaMatchesSequentialOnRandomPrograms) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    CheckEquivalence(seed, Propagation::kDelta, nullptr);
+  }
+}
+
+TEST(ParallelRunnerTest, EagerMatchesSequentialOnRandomPrograms) {
+  for (std::uint64_t seed = 100; seed < 105; ++seed) {
+    CheckEquivalence(seed, Propagation::kEager, nullptr);
+  }
+}
+
+TEST(ParallelRunnerTest, NoAbortsEquivalence) {
+  std::set<ActionId> empty;
+  for (std::uint64_t seed = 200; seed < 204; ++seed) {
+    CheckEquivalence(seed, Propagation::kDelta, &empty);
+  }
+}
+
+TEST(ParallelRunnerTest, RejectsLazyPropagation) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  reg.NewAccess(t, 0, Update::Add(1));
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 2);
+  dist::DistAlgebra alg(&topo);
+  ParallelOptions opt;
+  opt.propagation = Propagation::kLazy;
+  auto run = RunParallel(alg, opt);
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelRunnerTest, RejectsCrashAndPartitionPlans) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  reg.NewAccess(t, 0, Update::Add(1));
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 2);
+  dist::DistAlgebra alg(&topo);
+  ParallelOptions opt;
+  opt.plan.crashes.push_back(faults::CrashSpec{0, 5, 3});
+  auto run = RunParallel(alg, opt);
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  ParallelOptions opt2;
+  opt2.plan.partitions.push_back(faults::PartitionSpec{0, 1, 0, 10});
+  auto run2 = RunParallel(alg, opt2);
+  EXPECT_EQ(run2.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelRunnerTest, RejectsAccessInAbortSet) {
+  ActionRegistry reg;
+  ActionId t = reg.NewAction(kRootAction);
+  ActionId a = reg.NewAccess(t, 0, Update::Read());
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 1);
+  dist::DistAlgebra alg(&topo);
+  ParallelOptions opt;
+  opt.abort_set = {a};
+  auto run = RunParallel(alg, opt);
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParallelRunnerTest, DeltaShipsFewerEntriesThanEager) {
+  Rng rng(7);
+  testutil::RandomRegistryParams p;
+  p.top_level = 4;
+  p.max_children = 3;
+  p.max_depth = 3;
+  p.objects = 6;
+  ActionRegistry reg = testutil::MakeRandomRegistry(rng, p);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 4);
+  dist::DistAlgebra alg(&topo);
+  ParallelOptions delta;
+  delta.propagation = Propagation::kDelta;
+  auto drun = RunParallel(alg, delta);
+  ASSERT_TRUE(drun.ok()) << drun.status();
+  ParallelOptions eager;
+  eager.propagation = Propagation::kEager;
+  auto erun = RunParallel(alg, eager);
+  ASSERT_TRUE(erun.ok()) << erun.status();
+  EXPECT_LT(drun->stats.summary_entries, erun->stats.summary_entries);
+  for (ObjectId x = 0; x < 6; ++x) {
+    NodeId h = topo.HomeOfObject(x);
+    EXPECT_EQ(drun->final_state.nodes[h].vmap.Get(x, kRootAction),
+              erun->final_state.nodes[h].vmap.Get(x, kRootAction));
+  }
+}
+
+TEST(ParallelRunnerTest, RecordEventsOffStillComputesFinalState) {
+  Rng rng(3);
+  ActionRegistry reg = testutil::MakeRandomRegistry(rng);
+  dist::Topology topo = dist::Topology::RoundRobin(&reg, 2);
+  dist::DistAlgebra alg(&topo);
+  ParallelOptions opt;
+  opt.record_events = false;
+  auto run = RunParallel(alg, opt);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->events.empty());
+  EXPECT_GT(run->stats.performs, 0u);
+}
+
+}  // namespace
+}  // namespace rnt::sim
