@@ -142,8 +142,10 @@ Cell RunSeqCell(const rnt::dist::DistAlgebra& alg, rnt::sim::Propagation prop,
   Cell cell;
   std::vector<double> wall;
   for (int r = 0; r < reps; ++r) {
+    rnt::sim::DriverOptions opts;
+    opts.propagation = prop;
     auto t0 = std::chrono::steady_clock::now();
-    auto run = rnt::sim::RunProgram(alg, {.propagation = prop});
+    auto run = rnt::sim::RunProgram(alg, opts);
     auto t1 = std::chrono::steady_clock::now();
     if (!run.ok()) {
       std::fprintf(stderr, "seq cell failed: %s\n",

@@ -141,12 +141,12 @@ class MvtoHandle final : public txn::TxnHandle {
 };
 
 StatusOr<Value> MvtoHandle::Apply(ObjectId x, const action::Update& u) {
-  std::lock_guard<std::mutex> lk(eng_->mu_);
+  MutexLock lk(eng_->mu_);
   return eng_->AccessLocked(ts_, x, u);
 }
 
 Status MvtoHandle::Commit() {
-  std::lock_guard<std::mutex> lk(eng_->mu_);
+  MutexLock lk(eng_->mu_);
   if (!is_root_) return Status::Ok();
   Status s = eng_->CommitLocked(ts_);
   if (s.ok() || s.IsAborted()) finished_ = true;
@@ -154,13 +154,13 @@ Status MvtoHandle::Commit() {
 }
 
 Status MvtoHandle::Abort() {
-  std::lock_guard<std::mutex> lk(eng_->mu_);
+  MutexLock lk(eng_->mu_);
   if (is_root_) finished_ = true;
   return eng_->AbortLocked(ts_);
 }
 
 std::unique_ptr<txn::TxnHandle> MvtoEngine::Begin() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Ts ts = next_ts_++;
   txns_.emplace(ts, TxnRec{});
   ++stats_.begun;
@@ -168,7 +168,7 @@ std::unique_ptr<txn::TxnHandle> MvtoEngine::Begin() {
 }
 
 Value MvtoEngine::ReadCommitted(ObjectId x) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   const auto& vs = VersionsLocked(x);
   for (auto it = vs.rbegin(); it != vs.rend(); ++it) {
     if (it->committed) return it->value;
@@ -177,7 +177,7 @@ Value MvtoEngine::ReadCommitted(ObjectId x) {
 }
 
 MvtoEngine::Stats MvtoEngine::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return stats_;
 }
 

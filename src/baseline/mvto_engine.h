@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "txn/engine.h"
 
 namespace rnt::baseline {
@@ -72,17 +73,19 @@ class MvtoEngine final : public txn::Engine {
   };
 
   // All under mu_.
-  StatusOr<Value> AccessLocked(Ts ts, ObjectId x, const action::Update& u);
-  Status CommitLocked(Ts ts);
-  Status AbortLocked(Ts ts);
-  std::vector<Version>& VersionsLocked(ObjectId x);
-  void PruneLocked(ObjectId x);
+  StatusOr<Value> AccessLocked(Ts ts, ObjectId x, const action::Update& u)
+      REQUIRES(mu_);
+  Status CommitLocked(Ts ts) REQUIRES(mu_);
+  Status AbortLocked(Ts ts) REQUIRES(mu_);
+  std::vector<Version>& VersionsLocked(ObjectId x) REQUIRES(mu_);
+  void PruneLocked(ObjectId x) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  Ts next_ts_ = 1;
-  std::map<ObjectId, std::vector<Version>> versions_;  // sorted by wts
-  std::map<Ts, TxnRec> txns_;
-  Stats stats_;
+  mutable Mutex mu_;
+  Ts next_ts_ GUARDED_BY(mu_) = 1;
+  /// Sorted by wts.
+  std::map<ObjectId, std::vector<Version>> versions_ GUARDED_BY(mu_);
+  std::map<Ts, TxnRec> txns_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace rnt::baseline

@@ -1,0 +1,87 @@
+#ifndef RNT_COMMON_THREAD_ANNOTATIONS_H_
+#define RNT_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety annotations (-Wthread-safety).
+///
+/// These macros attach the locking discipline to the code so the
+/// compiler can prove it: a member tagged GUARDED_BY(mu) may only be
+/// touched while `mu` is held, a function tagged REQUIRES(mu) may only
+/// be called with `mu` held, and ACQUIRE/RELEASE describe the lock
+/// primitives themselves. Under Clang the `lint` preset turns
+/// violations into hard errors; under compilers without the attributes
+/// (GCC) every macro expands to nothing, so annotated code builds
+/// everywhere.
+///
+/// The project-wide rule (enforced by tools/lint): concurrent
+/// components (`src/lock`, `src/txn`, `src/sim`, `src/faults`,
+/// `src/baseline`) never use `std::mutex` directly — they use the
+/// annotated `rnt::Mutex` / `rnt::MutexLock` / `rnt::CondVar` wrappers
+/// from common/mutex.h, so every critical section is visible to the
+/// analysis.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define RNT_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define RNT_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+/// Marks a class as a capability (a lock). The string is the name the
+/// analysis uses in diagnostics, e.g. 'mutex "shard.mu" not held'.
+#define CAPABILITY(x) RNT_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Marks an RAII class whose lifetime equals a critical section.
+#define SCOPED_CAPABILITY RNT_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// Data member `x` may only be read or written while holding the
+/// capability.
+#define GUARDED_BY(x) RNT_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// Pointer member: the *pointee* is protected by the capability (the
+/// pointer itself is not).
+#define PT_GUARDED_BY(x) RNT_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The function may only be called while holding the capabilities
+/// exclusively (they are not acquired or released by the call).
+#define REQUIRES(...) \
+  RNT_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) flavor of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  RNT_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capabilities and does not release them.
+#define ACQUIRE(...) \
+  RNT_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capabilities (which must be held on entry).
+#define RELEASE(...) \
+  RNT_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the
+/// return value meaning success.
+#define TRY_ACQUIRE(...) \
+  RNT_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the capabilities
+/// (it acquires them internally — calling with them held would deadlock).
+#define EXCLUDES(...) RNT_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code paths the
+/// static analysis cannot follow).
+#define ASSERT_CAPABILITY(x) \
+  RNT_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The function returns a reference to the capability guarding its
+/// result.
+#define RETURN_CAPABILITY(x) RNT_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Opts a function out of the analysis. Used only where the locking
+/// pattern is genuinely inexpressible (e.g. locking a variable-length
+/// ancestor chain of record mutexes in order); every use carries a
+/// comment explaining why the discipline holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RNT_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // RNT_COMMON_THREAD_ANNOTATIONS_H_

@@ -48,13 +48,13 @@ void LockManager::NotifyObject(Shard& shard, ObjectId x) {
   auto it = shard.waits.find(x);
   if (it == shard.waits.end()) return;
   ++it->second.version;
-  it->second.cv.notify_all();
+  it->second.cv.NotifyAll();
 }
 
 bool LockManager::TryAcquire(ObjectId x, TxnId t, LockMode mode) {
   mode = Effective(mode);
   Shard& shard = ShardFor(x);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   if (auto it = shard.objects.find(x); it != shard.objects.end()) {
     if (Conflicts(it->second, t, mode, nullptr)) return false;
   }
@@ -66,7 +66,7 @@ std::vector<TxnId> LockManager::Blockers(ObjectId x, TxnId t,
                                          LockMode mode) const {
   std::vector<TxnId> out;
   const Shard& shard = ShardFor(x);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.objects.find(x);
   if (it == shard.objects.end()) return out;
   Conflicts(it->second, t, Effective(mode), &out);
@@ -77,7 +77,7 @@ LockManager::AcquireResult LockManager::AcquireOrEnqueue(ObjectId x, TxnId t,
                                                          LockMode mode) {
   mode = Effective(mode);
   Shard& shard = ShardFor(x);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   AcquireResult result;
   auto it = shard.objects.find(x);
   if (it == shard.objects.end() ||
@@ -98,13 +98,13 @@ LockManager::AcquireResult LockManager::AcquireOrEnqueue(ObjectId x, TxnId t,
 bool LockManager::WaitOn(ObjectId x, std::uint64_t ticket,
                          std::chrono::steady_clock::time_point deadline) {
   Shard& shard = ShardFor(x);
-  std::unique_lock<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.waits.find(x);
   if (it == shard.waits.end()) return true;  // queue already moved & drained
   WaitPoint& wp = it->second;
   bool moved = true;
   while (wp.version == ticket) {
-    if (wp.cv.wait_until(lk, deadline) == std::cv_status::timeout) {
+    if (wp.cv.WaitUntil(shard.mu, deadline) == std::cv_status::timeout) {
       moved = wp.version != ticket;
       break;
     }
@@ -115,7 +115,7 @@ bool LockManager::WaitOn(ObjectId x, std::uint64_t ticket,
 
 void LockManager::CancelWait(ObjectId x) {
   Shard& shard = ShardFor(x);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.waits.find(x);
   if (it == shard.waits.end()) return;
   if (--it->second.waiters == 0) shard.waits.erase(it);
@@ -123,13 +123,13 @@ void LockManager::CancelWait(ObjectId x) {
 
 void LockManager::Poke(ObjectId x) {
   Shard& shard = ShardFor(x);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   NotifyObject(shard, x);
 }
 
 void LockManager::OnCommit(TxnId t, TxnId parent) {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.touched.find(t);
     if (it == shard.touched.end()) continue;
     for (ObjectId x : it->second) {
@@ -160,7 +160,7 @@ void LockManager::OnCommit(TxnId t, TxnId parent) {
 
 void LockManager::OnAbort(TxnId t) {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     auto it = shard.touched.find(t);
     if (it == shard.touched.end()) continue;
     for (ObjectId x : it->second) {
@@ -177,7 +177,7 @@ void LockManager::OnAbort(TxnId t) {
 
 bool LockManager::Holds(ObjectId x, TxnId t, LockMode mode) const {
   const Shard& shard = ShardFor(x);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.objects.find(x);
   if (it == shard.objects.end()) return false;
   auto h = it->second.holders.find(t);
@@ -187,7 +187,7 @@ bool LockManager::Holds(ObjectId x, TxnId t, LockMode mode) const {
 
 bool LockManager::Retains(ObjectId x, TxnId t, LockMode mode) const {
   const Shard& shard = ShardFor(x);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.objects.find(x);
   if (it == shard.objects.end()) return false;
   auto r = it->second.retainers.find(t);
@@ -197,14 +197,14 @@ bool LockManager::Retains(ObjectId x, TxnId t, LockMode mode) const {
 
 std::size_t LockManager::HolderCount(ObjectId x) const {
   const Shard& shard = ShardFor(x);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.objects.find(x);
   return it == shard.objects.end() ? 0 : it->second.holders.size();
 }
 
 std::size_t LockManager::RetainerCount(ObjectId x) const {
   const Shard& shard = ShardFor(x);
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.objects.find(x);
   return it == shard.objects.end() ? 0 : it->second.retainers.size();
 }
@@ -212,7 +212,7 @@ std::size_t LockManager::RetainerCount(ObjectId x) const {
 std::size_t LockManager::RecordCount() const {
   std::size_t n = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     for (const auto& [x, locks] : shard.objects) {
       n += locks.holders.size() + locks.retainers.size();
     }

@@ -2,14 +2,14 @@
 #define RNT_LOCK_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace rnt::lock {
@@ -70,6 +70,12 @@ class Ancestry {
 /// the queue's version and notifies exactly its waiters. Deadlock
 /// detection and victim selection stay in the transaction manager, built
 /// on Blockers().
+///
+/// Locking discipline (machine-checked under the `lint` preset): every
+/// shard member is GUARDED_BY the shard's mutex; the internal helpers
+/// carry REQUIRES preconditions. A shard mutex is a leaf below the
+/// engines' record mutexes, except that Conflicts() may call out to the
+/// Ancestry oracle — implementations must not take a record mutex there.
 class LockManager {
  public:
   struct Options {
@@ -169,15 +175,15 @@ class LockManager {
   struct WaitPoint {
     std::uint64_t version = 1;
     std::uint32_t waiters = 0;
-    std::condition_variable cv;
+    CondVar cv;
   };
   struct Shard {
-    mutable std::mutex mu;
-    std::map<ObjectId, ObjectLocks> objects;
+    mutable Mutex mu;
+    std::map<ObjectId, ObjectLocks> objects GUARDED_BY(mu);
     /// Per-transaction index of touched objects *in this shard*, for
     /// O(touched) commit/abort without scanning the table.
-    std::map<TxnId, std::set<ObjectId>> touched;
-    std::map<ObjectId, WaitPoint> waits;
+    std::map<TxnId, std::set<ObjectId>> touched GUARDED_BY(mu);
+    std::map<ObjectId, WaitPoint> waits GUARDED_BY(mu);
   };
 
   std::size_t ShardIndex(ObjectId x) const {
@@ -194,13 +200,15 @@ class LockManager {
   }
 
   /// Collects conflicting transactions into `out` (if non-null); returns
-  /// whether any conflict exists.
+  /// whether any conflict exists. `locks` is a shard's guarded entry; the
+  /// caller holds that shard's mutex.
   bool Conflicts(const ObjectLocks& locks, TxnId t, LockMode mode,
                  std::vector<TxnId>* out) const;
   /// Records the hold; requires the shard lock held and no conflicts.
-  void Grant(Shard& shard, ObjectId x, TxnId t, LockMode mode);
+  void Grant(Shard& shard, ObjectId x, TxnId t, LockMode mode)
+      REQUIRES(shard.mu);
   /// Bumps x's wait queue and wakes its waiters (shard lock held).
-  static void NotifyObject(Shard& shard, ObjectId x);
+  static void NotifyObject(Shard& shard, ObjectId x) REQUIRES(shard.mu);
 
   const Ancestry* ancestry_;
   Options options_;

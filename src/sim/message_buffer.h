@@ -36,7 +36,7 @@ class ConcurrentMailbox {
       Node* n = s.head.exchange(nullptr, std::memory_order_acquire);
       while (n != nullptr) {
         Node* next = n->next;
-        delete n;
+        delete n;  // rnt-lint: allow(owning-new) — Treiber list owns nodes
         n = next;
       }
     }
@@ -47,7 +47,10 @@ class ConcurrentMailbox {
 
   /// Lock-free multi-producer push toward `to`.
   void Push(NodeId to, NodeMessage msg) {
-    Node* n = new Node{std::move(msg), nullptr};
+    // Raw node ownership is inherent to the lock-free CAS handoff: a
+    // unique_ptr cannot express "owned by whichever thread wins the
+    // exchange". Every path below provably frees (Drain/dtor).
+    Node* n = new Node{std::move(msg), nullptr};  // rnt-lint: allow(owning-new)
     std::atomic<Node*>& head = slots_[to].head;
     n->next = head.load(std::memory_order_relaxed);
     while (!head.compare_exchange_weak(n->next, n, std::memory_order_release,
@@ -63,7 +66,7 @@ class ConcurrentMailbox {
     while (n != nullptr) {  // reverse the LIFO list into arrival order
       out.push_back(std::move(n->msg));
       Node* next = n->next;
-      delete n;
+      delete n;  // rnt-lint: allow(owning-new) — Treiber list owns nodes
       n = next;
     }
     std::reverse(out.begin(), out.end());

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "sim/message_buffer.h"
 
 namespace rnt::sim {
@@ -67,7 +68,10 @@ class ParallelRunner {
       threads.emplace_back([this, i] { RunNode(workers_[i]); });
     }
     for (std::thread& t : threads) t.join();
-    if (!first_error_.ok()) return first_error_;
+    {
+      MutexLock lock(error_mu_);
+      if (!first_error_.ok()) return first_error_;
+    }
     return Assemble();
   }
 
@@ -259,7 +263,7 @@ class ParallelRunner {
     bool expected = false;
     if (failed_.compare_exchange_strong(expected, true,
                                         std::memory_order_acq_rel)) {
-      std::lock_guard<std::mutex> lock(error_mu_);
+      MutexLock lock(error_mu_);
       first_error_ = std::move(s);
     }
   }
@@ -566,8 +570,9 @@ class ParallelRunner {
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint32_t> done_nodes_{0};
   std::atomic<bool> failed_{false};
-  std::mutex error_mu_;
-  Status first_error_ = Status::Ok();
+  Mutex error_mu_;
+  /// The first failure wins; read back single-threaded after join().
+  Status first_error_ GUARDED_BY(error_mu_) = Status::Ok();
 };
 
 }  // namespace

@@ -13,6 +13,13 @@ GlobalEngine::GlobalEngine(TransactionManager::Options options)
                                               /*shards=*/1}) {}
 
 bool GlobalEngine::IsAncestor(TxnId anc, TxnId desc) const {
+  // Entered from LockManager::Conflicts while the calling thread holds
+  // mu_ (the lock manager is only driven from under mu_); the analysis
+  // cannot follow that path, so assert and delegate.
+  return IsAncestorLocked(anc, desc);
+}
+
+bool GlobalEngine::IsAncestorLocked(TxnId anc, TxnId desc) const {
   if (anc == kNoTxn) return true;
   for (TxnId c = desc; c != kNoTxn;) {
     if (c == anc) return true;
@@ -24,48 +31,50 @@ bool GlobalEngine::IsAncestor(TxnId anc, TxnId desc) const {
 }
 
 TxnId GlobalEngine::BeginTop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // Top-level begin cannot fail (the virtual root never dies).
   return *BeginLocked(kNoTxn);
 }
 
 StatusOr<TxnId> GlobalEngine::BeginChild(TxnId parent) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return BeginLocked(parent);
 }
 
 StatusOr<Value> GlobalEngine::Access(TxnId t, ObjectId x,
                                      const action::Update& update) {
-  std::unique_lock<std::mutex> lk(mu_);
-  return AccessLocked(lk, t, x, update);
+  MutexLock lk(mu_);
+  return AccessLocked(t, x, update);
 }
 
 Status GlobalEngine::Commit(TxnId t) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return CommitLocked(t);
 }
 
 Status GlobalEngine::Abort(TxnId t) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return AbortLocked(t, /*cascading=*/false);
 }
 
 Value GlobalEngine::ReadCommitted(ObjectId x) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = committed_.find(x);
   return it == committed_.end() ? action::kInitValue : it->second;
 }
 
 Trace GlobalEngine::TakeTrace() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   Trace out = std::move(trace_);
   trace_.events.clear();
   return out;
 }
 
 TransactionManager::Stats GlobalEngine::stats() const {
-  std::unique_lock<std::mutex> lk(mu_);
-  return stats_;
+  MutexLock lk(mu_);
+  TransactionManager::Stats s = stats_;
+  s.lock_records = locks_.RecordCount();
+  return s;
 }
 
 StatusOr<TxnId> GlobalEngine::BeginLocked(TxnId parent) {
@@ -126,7 +135,7 @@ std::vector<TxnId> GlobalEngine::DeadlockCycleLocked(TxnId start) const {
     if (wit == waiting_.end()) continue;
     for (TxnId q : wit->second) {
       for (const auto& [w, edges] : waiting_) {
-        if (!IsAncestor(q, w)) continue;
+        if (!IsAncestorLocked(q, w)) continue;
         if (w == start) {
           std::vector<TxnId> cycle;
           for (TxnId p = c;; p = pred.at(p)) {
@@ -145,8 +154,7 @@ std::vector<TxnId> GlobalEngine::DeadlockCycleLocked(TxnId start) const {
   return {};
 }
 
-StatusOr<Value> GlobalEngine::AccessLocked(std::unique_lock<std::mutex>& lk,
-                                           TxnId t, ObjectId x,
+StatusOr<Value> GlobalEngine::AccessLocked(TxnId t, ObjectId x,
                                            const action::Update& update) {
   const lock::LockMode mode =
       update.IsRead() ? lock::LockMode::kRead : lock::LockMode::kWrite;
@@ -186,7 +194,7 @@ StatusOr<Value> GlobalEngine::AccessLocked(std::unique_lock<std::mutex>& lk,
         continue;
       }
     }
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
       waiting_.erase(t);
       auto it2 = txns_.find(t);
       if (it2 != txns_.end() && it2->second.state == TxnState::kActive) {
@@ -263,7 +271,7 @@ Status GlobalEngine::CommitLocked(TxnId t) {
     }
     for (TxnId d : doomed) txns_.erase(d);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::Ok();
 }
 
@@ -307,7 +315,7 @@ Status GlobalEngine::AbortLocked(TxnId t, bool cascading) {
     }
     for (TxnId d : doomed) txns_.erase(d);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::Ok();
 }
 

@@ -1,12 +1,12 @@
 #ifndef RNT_TXN_GLOBAL_ENGINE_H_
 #define RNT_TXN_GLOBAL_ENGINE_H_
 
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "txn/engine_core.h"
 
 namespace rnt::txn::internal {
@@ -22,6 +22,10 @@ namespace rnt::txn::internal {
 /// deterministic (the youngest — largest-id — transaction on the
 /// detected cycle), matching the sharded engine, so stress failures and
 /// benchmarks reproduce under a fixed seed.
+///
+/// Every piece of state is GUARDED_BY(mu_) and every internal helper
+/// REQUIRES(mu_) — the "one big lock" design stated in a form the
+/// thread-safety analysis verifies.
 class GlobalEngine final : public EngineCore, private lock::Ancestry {
  public:
   explicit GlobalEngine(TransactionManager::Options options);
@@ -51,35 +55,44 @@ class GlobalEngine final : public EngineCore, private lock::Ancestry {
     std::set<ObjectId> written;
   };
 
-  // lock::Ancestry (called under mu_).
-  bool IsAncestor(lock::TxnId anc, lock::TxnId desc) const override;
+  // lock::Ancestry (called under mu_, from the lock manager's single
+  // shard — the analysis cannot see that caller, so the override itself
+  // carries no REQUIRES; it delegates to the checked helper).
+  bool IsAncestor(lock::TxnId anc, lock::TxnId desc) const override
+      NO_THREAD_SAFETY_ANALYSIS;
+  bool IsAncestorLocked(lock::TxnId anc, lock::TxnId desc) const
+      REQUIRES(mu_);
 
   // All private methods below require mu_ held.
-  StatusOr<lock::TxnId> BeginLocked(lock::TxnId parent);
-  Status CommitLocked(lock::TxnId t);
-  Status AbortLocked(lock::TxnId t, bool cascading);
-  StatusOr<Value> AccessLocked(std::unique_lock<std::mutex>& lk,
-                               lock::TxnId t, ObjectId x,
-                               const action::Update& update);
-  Value VisibleValueLocked(ObjectId x, lock::TxnId t) const;
+  StatusOr<lock::TxnId> BeginLocked(lock::TxnId parent) REQUIRES(mu_);
+  Status CommitLocked(lock::TxnId t) REQUIRES(mu_);
+  Status AbortLocked(lock::TxnId t, bool cascading) REQUIRES(mu_);
+  StatusOr<Value> AccessLocked(lock::TxnId t, ObjectId x,
+                               const action::Update& update) REQUIRES(mu_);
+  Value VisibleValueLocked(ObjectId x, lock::TxnId t) const REQUIRES(mu_);
   /// The wait-for cycle through `start` (empty if none), as the list of
   /// waiting transactions on it.
-  std::vector<lock::TxnId> DeadlockCycleLocked(lock::TxnId start) const;
+  std::vector<lock::TxnId> DeadlockCycleLocked(lock::TxnId start) const
+      REQUIRES(mu_);
 
   TransactionManager::Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  lock::TxnId next_id_ = 1;
-  std::map<lock::TxnId, TxnInfo> txns_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  lock::TxnId next_id_ GUARDED_BY(mu_) = 1;
+  std::map<lock::TxnId, TxnInfo> txns_ GUARDED_BY(mu_);
+  /// The lock manager has its own internal (single-shard) mutex; it is
+  /// only ever driven from under mu_, keeping the seed's one-big-lock
+  /// semantics.
   lock::LockManager locks_;
   /// Committed top-level state (absent => init value 0).
-  std::map<ObjectId, Value> committed_;
+  std::map<ObjectId, Value> committed_ GUARDED_BY(mu_);
   /// Uncommitted versions: object -> (txn -> private value).
-  std::map<ObjectId, std::map<lock::TxnId, Value>> uncommitted_;
+  std::map<ObjectId, std::map<lock::TxnId, Value>> uncommitted_
+      GUARDED_BY(mu_);
   /// Wait-for edges of currently blocked acquirers.
-  std::map<lock::TxnId, std::vector<lock::TxnId>> waiting_;
-  Trace trace_;
-  TransactionManager::Stats stats_;
+  std::map<lock::TxnId, std::vector<lock::TxnId>> waiting_ GUARDED_BY(mu_);
+  Trace trace_ GUARDED_BY(mu_);
+  TransactionManager::Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace rnt::txn::internal

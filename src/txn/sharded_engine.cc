@@ -34,14 +34,14 @@ bool ShardedEngine::IsAncestor(TxnId anc, TxnId desc) const {
 std::shared_ptr<ShardedEngine::TxnRec> ShardedEngine::FindRec(
     TxnId t) const {
   const TableShard& shard = table_[TxnShard(t)];
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.recs.find(t);
   return it == shard.recs.end() ? nullptr : it->second;
 }
 
 void ShardedEngine::InsertRec(const std::shared_ptr<TxnRec>& rec) {
   TableShard& shard = table_[TxnShard(rec->id)];
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   shard.recs.emplace(rec->id, rec);
 }
 
@@ -51,31 +51,31 @@ void ShardedEngine::CollectSubtree(TxnRec* root) {
   // still taken for the read to keep the happens-before chain explicit.
   std::vector<TxnRec*> all{root};
   for (std::size_t i = 0; i < all.size(); ++i) {
-    std::lock_guard<std::mutex> lk(all[i]->mu);
+    MutexLock lk(all[i]->mu);
     for (TxnRec* c : all[i]->children) all.push_back(c);
   }
   for (TxnRec* r : all) {
     TableShard& shard = table_[TxnShard(r->id)];
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     shard.recs.erase(r->id);
   }
 }
 
 void ShardedEngine::RegisterWait(TxnId t, WaitEdge edge) {
   WaitShard& shard = waits_[TxnShard(t)];
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   shard.edges[t] = std::move(edge);
 }
 
 void ShardedEngine::UnregisterWait(TxnId t) {
   WaitShard& shard = waits_[TxnShard(t)];
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   shard.edges.erase(t);
 }
 
 std::optional<ObjectId> ShardedEngine::WaitingOn(TxnId t) const {
   const WaitShard& shard = waits_[TxnShard(t)];
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.edges.find(t);
   if (it == shard.edges.end()) return std::nullopt;
   return it->second.object;
@@ -85,7 +85,7 @@ std::map<TxnId, ShardedEngine::WaitEdge> ShardedEngine::WaitSnapshot()
     const {
   std::map<TxnId, WaitEdge> snap;
   for (const WaitShard& shard : waits_) {
-    std::lock_guard<std::mutex> lk(shard.mu);
+    MutexLock lk(shard.mu);
     for (const auto& [t, e] : shard.edges) snap.emplace(t, e);
   }
   return snap;
@@ -93,20 +93,20 @@ std::map<TxnId, ShardedEngine::WaitEdge> ShardedEngine::WaitSnapshot()
 
 Value ShardedEngine::StoreRead(ObjectId x) const {
   const StoreShard& shard = store_[ObjShard(x)];
-  std::lock_guard<std::mutex> lk(shard.mu);
+  MutexLock lk(shard.mu);
   auto it = shard.values.find(x);
   return it == shard.values.end() ? action::kInitValue : it->second;
 }
 
 void ShardedEngine::AppendTrace(TraceEvent event) {
-  std::lock_guard<std::mutex> lk(trace_mu_);
+  MutexLock lk(trace_mu_);
   trace_.events.push_back(std::move(event));
 }
 
 Value ShardedEngine::ReadCommitted(ObjectId x) { return StoreRead(x); }
 
 Trace ShardedEngine::TakeTrace() {
-  std::lock_guard<std::mutex> lk(trace_mu_);
+  MutexLock lk(trace_mu_);
   Trace out = std::move(trace_);
   trace_.events.clear();
   return out;
@@ -122,6 +122,7 @@ TransactionManager::Stats ShardedEngine::stats() const {
   s.cascade_aborts = cascade_aborts_.load(kRelaxed);
   s.lock_waits = lock_waits_.load(kRelaxed);
   s.accesses = accesses_.load(kRelaxed);
+  s.lock_records = locks_.RecordCount();
   return s;
 }
 
@@ -140,20 +141,21 @@ TxnId ShardedEngine::BeginTop() {
 StatusOr<TxnId> ShardedEngine::BeginChild(TxnId parent) {
   auto pr = FindRec(parent);
   if (!pr) return Status::Aborted("parent transaction is not active");
-  std::lock_guard<std::mutex> plk(pr->mu);
-  if (pr->state != TxnState::kActive) {
+  TxnRec* p = pr.get();
+  MutexLock plk(p->mu);
+  if (p->state != TxnState::kActive) {
     return Status::Aborted("parent transaction is not active");
   }
   TxnId id = next_id_.fetch_add(1, kRelaxed);
-  std::vector<TxnId> path = pr->path;
+  std::vector<TxnId> path = p->path;
   path.push_back(id);
   auto rec = std::make_shared<TxnRec>(id, parent, std::move(path), pr);
   // Insert + link under the parent's mutex: the abort cascade marks the
   // parent kAborting under the same mutex, so a new child either lands
   // before the mark (and is visited) or the begin fails above.
   InsertRec(rec);
-  pr->children.push_back(rec.get());
-  ++pr->open_children;
+  p->children.push_back(rec.get());
+  ++p->open_children;
   begun_.fetch_add(1, kRelaxed);
   if (options_.record_trace) {
     AppendTrace(
@@ -167,6 +169,17 @@ Status ShardedEngine::DeadStatusLocked(const TxnRec& rec) {
     return Status::Aborted("deadlock victim");
   }
   return Status::Aborted("transaction is not active");
+}
+
+void ShardedEngine::LockChain(const std::vector<TxnRec*>& chain) {
+  // Root-first (the global record ordering); chain is self..root.
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    (*it)->mu.Lock();
+  }
+}
+
+void ShardedEngine::UnlockChain(const std::vector<TxnRec*>& chain) {
+  for (TxnRec* r : chain) r->mu.Unlock();
 }
 
 StatusOr<Value> ShardedEngine::RecordAccessChainLocked(
@@ -206,6 +219,7 @@ StatusOr<Value> ShardedEngine::Access(TxnId t, ObjectId x,
                                       const action::Update& update) {
   auto rec = FindRec(t);
   if (!rec) return Status::Aborted("transaction is not active");
+  TxnRec* r = rec.get();
   const lock::LockMode mode =
       update.IsRead() ? lock::LockMode::kRead : lock::LockMode::kWrite;
   const auto deadline =
@@ -213,8 +227,8 @@ StatusOr<Value> ShardedEngine::Access(TxnId t, ObjectId x,
   bool waited = false;
   for (;;) {
     {
-      std::lock_guard<std::mutex> lk(rec->mu);
-      if (rec->state != TxnState::kActive) return DeadStatusLocked(*rec);
+      MutexLock lk(r->mu);
+      if (r->state != TxnState::kActive) return DeadStatusLocked(*r);
     }
     auto attempt = locks_.AcquireOrEnqueue(x, t, mode);
     if (attempt.acquired) break;
@@ -240,11 +254,11 @@ StatusOr<Value> ShardedEngine::Access(TxnId t, ObjectId x,
     UnregisterWait(t);
     if (!moved && std::chrono::steady_clock::now() >= deadline) {
       {
-        std::lock_guard<std::mutex> lk(rec->mu);
-        if (rec->state != TxnState::kActive) return DeadStatusLocked(*rec);
+        MutexLock lk(r->mu);
+        if (r->state != TxnState::kActive) return DeadStatusLocked(*r);
       }
       timeout_aborts_.fetch_add(1, kRelaxed);
-      AbortAndCollect(rec.get(), AbortCause::kTimeout);
+      AbortAndCollect(r, AbortCause::kTimeout);
       return Status::Timeout("lock wait timed out");
     }
   }
@@ -252,68 +266,108 @@ StatusOr<Value> ShardedEngine::Access(TxnId t, ObjectId x,
   // ordering) so value read + buffer write + trace append are atomic
   // against a child of ours committing its buffer into us.
   std::vector<TxnRec*> chain;  // self..root
-  for (TxnRec* r = rec.get(); r != nullptr; r = r->parent_rec.get()) {
-    chain.push_back(r);
+  for (TxnRec* c = r; c != nullptr; c = c->parent_rec.get()) {
+    chain.push_back(c);
   }
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    (*it)->mu.lock();
-  }
+  LockChain(chain);
   auto result = RecordAccessChainLocked(chain, x, update);
-  for (TxnRec* r : chain) r->mu.unlock();
+  UnlockChain(chain);
   return result;
+}
+
+Status ShardedEngine::CommitCheckLocked(const TxnRec& rec) {
+  if (rec.state == TxnState::kAborted || rec.state == TxnState::kAborting) {
+    return Status::Aborted("transaction was aborted");
+  }
+  if (rec.state == TxnState::kCommitted) {
+    return Status::IllegalState("transaction already committed");
+  }
+  if (rec.open_children != 0) {
+    return Status::IllegalState("commit with open subtransactions");
+  }
+  return Status::Ok();
+}
+
+Status ShardedEngine::CommitChildLocked(TxnRec* rec, TxnRec* parent) {
+  RNT_RETURN_IF_ERROR(CommitCheckLocked(*rec));
+  if (parent->state != TxnState::kActive) {
+    // Orphan: an ancestor is dead or dying; the cascade will emit our
+    // abort event, so do not commit into a doomed buffer.
+    return Status::Aborted("transaction was aborted");
+  }
+  // Version propagation (d24)/(e21): private values merge into the
+  // parent's buffer — before the commit event and before any lock is
+  // released, so a later acquirer of x observes the merged value.
+  for (const auto& [x, v] : rec->buffer) parent->buffer[x] = v;
+  rec->buffer.clear();
+  rec->state = TxnState::kCommitted;
+  --parent->open_children;
+  if (options_.record_trace) {
+    AppendTrace(
+        TraceEvent{TraceEvent::Kind::kCommit, rec->id, rec->parent, 0, {}, 0});
+  }
+  return Status::Ok();
+}
+
+Status ShardedEngine::CommitTopLocked(TxnRec* rec) {
+  RNT_RETURN_IF_ERROR(CommitCheckLocked(*rec));
+  // Top-level commit: private values become durable — before the commit
+  // event and before any lock is released, as above.
+  for (const auto& [x, v] : rec->buffer) {
+    StoreShard& shard = store_[ObjShard(x)];
+    MutexLock slk(shard.mu);
+    shard.values[x] = v;
+  }
+  rec->buffer.clear();
+  rec->state = TxnState::kCommitted;
+  if (options_.record_trace) {
+    AppendTrace(
+        TraceEvent{TraceEvent::Kind::kCommit, rec->id, kNoTxn, 0, {}, 0});
+  }
+  return Status::Ok();
 }
 
 Status ShardedEngine::Commit(TxnId t) {
   auto rec = FindRec(t);
   if (!rec) return Status::Aborted("transaction is gone");
-  std::shared_ptr<TxnRec> pr = rec->parent_rec;
-  {
+  TxnRec* r = rec.get();
+  TxnRec* p = r->parent_rec.get();
+  Status prep = Status::Ok();
+  if (p != nullptr) {
     // Parent before child — the global record ordering.
-    std::unique_lock<std::mutex> plk;
-    if (pr) plk = std::unique_lock<std::mutex>(pr->mu);
-    std::lock_guard<std::mutex> lk(rec->mu);
-    if (rec->state == TxnState::kAborted ||
-        rec->state == TxnState::kAborting) {
-      return Status::Aborted("transaction was aborted");
-    }
-    if (rec->state == TxnState::kCommitted) {
-      return Status::IllegalState("transaction already committed");
-    }
-    if (rec->open_children != 0) {
-      return Status::IllegalState("commit with open subtransactions");
-    }
-    if (pr && pr->state != TxnState::kActive) {
-      // Orphan: an ancestor is dead or dying; the cascade will emit our
-      // abort event, so do not commit into a doomed buffer.
-      return Status::Aborted("transaction was aborted");
-    }
-    // Version propagation (d24)/(e21): private values merge into the
-    // parent's buffer, or into the durable store for a top-level commit
-    // — before the commit event and before any lock is released, so a
-    // later acquirer of x observes the merged value.
-    if (pr) {
-      for (const auto& [x, v] : rec->buffer) pr->buffer[x] = v;
-    } else {
-      for (const auto& [x, v] : rec->buffer) {
-        StoreShard& shard = store_[ObjShard(x)];
-        std::lock_guard<std::mutex> slk(shard.mu);
-        shard.values[x] = v;
-      }
-    }
-    rec->buffer.clear();
-    rec->state = TxnState::kCommitted;
-    if (pr) --pr->open_children;
-    if (options_.record_trace) {
-      AppendTrace(
-          TraceEvent{TraceEvent::Kind::kCommit, t, rec->parent, 0, {}, 0});
-    }
+    MutexLock plk(p->mu);
+    MutexLock lk(r->mu);
+    prep = CommitChildLocked(r, p);
+  } else {
+    MutexLock lk(r->mu);
+    prep = CommitTopLocked(r);
   }
+  if (!prep.ok()) return prep;
   // Lock inheritance + targeted wakeups (release-lock). Runs after the
   // merge above: the shard mutex orders the release after the buffer
   // write, so woken waiters see the merged values.
-  locks_.OnCommit(t, rec->parent);
+  locks_.OnCommit(t, r->parent);
+  if (p != nullptr) {
+    // Inheritance race repair: between our critical section (parent
+    // observed kActive) and the OnCommit above, an abort cascade may
+    // have killed the parent AND already run its lose-lock sweep — the
+    // inheritance then re-creates retained locks for a dead transaction,
+    // which would block non-descendants on those objects forever.
+    // kAborted is set before the cascade's OnAbort runs, so: observing
+    // kActive/kAborting means the cascade's own OnAbort is still ahead
+    // of us and will sweep what we inherited; observing kAborted means
+    // it may be behind us, so sweep here (OnAbort is idempotent, and the
+    // parent's buffer was already cleared before kAborted was set — no
+    // stale value becomes visible through the early release).
+    bool parent_collected;
+    {
+      MutexLock plk(p->mu);
+      parent_collected = p->state == TxnState::kAborted;
+    }
+    if (parent_collected) locks_.OnAbort(r->parent);
+  }
   committed_.fetch_add(1, kRelaxed);
-  if (!pr) CollectSubtree(rec.get());
+  if (p == nullptr) CollectSubtree(r);
   return Status::Ok();
 }
 
@@ -333,7 +387,7 @@ bool ShardedEngine::AbortAndCollect(TxnRec* rec, AbortCause cause) {
 bool ShardedEngine::AbortTree(TxnRec* rec, AbortCause cause) {
   std::vector<TxnRec*> kids;
   {
-    std::lock_guard<std::mutex> lk(rec->mu);
+    MutexLock lk(rec->mu);
     if (rec->state != TxnState::kActive) {
       return false;  // idempotent on dead transactions
     }
@@ -349,7 +403,7 @@ bool ShardedEngine::AbortTree(TxnRec* rec, AbortCause cause) {
     AbortTree(c, AbortCause::kCascade);
   }
   {
-    std::lock_guard<std::mutex> lk(rec->mu);
+    MutexLock lk(rec->mu);
     rec->buffer.clear();  // (f21): discard private versions
     rec->state = TxnState::kAborted;
     if (options_.record_trace) {
@@ -359,8 +413,9 @@ bool ShardedEngine::AbortTree(TxnRec* rec, AbortCause cause) {
   }
   locks_.OnAbort(rec->id);  // lose-lock, with targeted wakeups
   if (rec->parent_rec) {
-    std::lock_guard<std::mutex> plk(rec->parent_rec->mu);
-    --rec->parent_rec->open_children;
+    TxnRec* p = rec->parent_rec.get();
+    MutexLock plk(p->mu);
+    --p->open_children;
   }
   aborted_.fetch_add(1, kRelaxed);
   if (cause == AbortCause::kCascade) cascade_aborts_.fetch_add(1, kRelaxed);

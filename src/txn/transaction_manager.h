@@ -112,6 +112,11 @@ class TransactionManager final : public Engine {
     std::uint64_t cascade_aborts = 0;
     std::uint64_t lock_waits = 0;
     std::uint64_t accesses = 0;
+    /// Live (object, txn) lock records at the time of the call. Must be
+    /// zero once every transaction has completed — a nonzero value after
+    /// quiescence means a lock leak (see the commit-vs-abort inheritance
+    /// race regression test).
+    std::uint64_t lock_records = 0;
   };
   Stats stats() const;
 

@@ -46,8 +46,12 @@ TEST(Lemma11Test, DerivabilityMonotonicityProperties) {
         for (ActionId a : t.Vertices()) {
           // (a) vertices/committed/aborted grow monotonically.
           ASSERT_TRUE(t2.Contains(a)) << "seed " << seed;
-          if (t.IsCommitted(a)) EXPECT_TRUE(t2.IsCommitted(a));
-          if (t.IsAborted(a)) EXPECT_TRUE(t2.IsAborted(a));
+          if (t.IsCommitted(a)) {
+            EXPECT_TRUE(t2.IsCommitted(a));
+          }
+          if (t.IsAborted(a)) {
+            EXPECT_TRUE(t2.IsAborted(a));
+          }
           // (d) visibility grows monotonically.
           for (ActionId b : t.Vertices()) {
             if (t.IsVisibleTo(b, a)) {

@@ -1,0 +1,15 @@
+// lint-as: src/sim/fixture_chaos.cc
+// Fixture: wall-clock and libc randomness in a deterministic layer must
+// trip [nondeterminism].
+#include <chrono>
+#include <cstdlib>
+
+namespace rnt::sim {
+
+int JitteredDelay() {
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  return std::rand() % 7;
+}
+
+}  // namespace rnt::sim

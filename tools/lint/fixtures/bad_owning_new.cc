@@ -1,0 +1,14 @@
+// lint-as: src/action/fixture_pool.cc
+// Fixture: naked new/delete outside a smart-pointer expression must trip
+// [owning-new].
+
+namespace rnt::action {
+
+struct Blob {
+  int v = 0;
+};
+
+Blob* Make() { return new Blob(); }
+void Drop(Blob* b) { delete b; }
+
+}  // namespace rnt::action

@@ -1,0 +1,14 @@
+// lint-as: src/sim/fixture_sched.cc
+// Fixture: a pointer-keyed ordered container in a deterministic layer
+// iterates in address order — must trip [pointer-keyed].
+#include <map>
+
+namespace rnt::sim {
+
+struct Node;
+
+struct FixtureSched {
+  std::map<Node*, int> priority;
+};
+
+}  // namespace rnt::sim

@@ -1,0 +1,19 @@
+// lint-as: src/txn/fixture_engine.cc
+// Fixture: raw std::mutex in a concurrent layer must trip [raw-mutex].
+#include <mutex>
+
+namespace rnt::txn {
+
+class FixtureEngine {
+ public:
+  void Touch() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace rnt::txn

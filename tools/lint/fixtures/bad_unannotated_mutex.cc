@@ -1,0 +1,21 @@
+// lint-as: src/lock/fixture_table.h
+// Fixture: an rnt::Mutex member with no GUARDED_BY/REQUIRES anywhere in
+// the file silently opts out of the analysis — must trip
+// [unannotated-mutex].
+#include "common/mutex.h"
+
+namespace rnt::lock {
+
+class FixtureTable {
+ public:
+  void Bump() {
+    MutexLock lk(mu_);
+    ++count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace rnt::lock

@@ -1,0 +1,13 @@
+// lint-as: src/dist/fixture_registry.cc
+// Fixture: hash containers in a deterministic layer must trip
+// [unordered-container] (iteration order is hash-seed dependent).
+#include <cstdint>
+#include <unordered_map>
+
+namespace rnt::dist {
+
+struct FixtureRegistry {
+  std::unordered_map<std::uint64_t, int> by_id;
+};
+
+}  // namespace rnt::dist

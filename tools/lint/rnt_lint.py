@@ -1,0 +1,404 @@
+#!/usr/bin/env python3
+"""rnt-lint: determinism and lock-discipline checks for the rnt tree.
+
+A deliberately dependency-free linter (regex over comment/string-stripped
+source) that enforces the project's concurrency and determinism rules
+where the compiler cannot:
+
+  raw-mutex            std::mutex / condition_variable / lock_guard /
+                       unique_lock / scoped_lock / shared_mutex are banned
+                       in the concurrent layers (src/lock, src/txn,
+                       src/sim, src/faults, src/baseline). Use the
+                       annotated rnt::Mutex / MutexLock / CondVar wrappers
+                       (src/common/mutex.h) so Clang's -Wthread-safety can
+                       verify the lock discipline. src/common/mutex.h
+                       itself is the one sanctioned wrapper.
+  nondeterminism       std::rand / srand / random_device / system_clock /
+                       high_resolution_clock / time(...) are banned in the
+                       deterministic layers (src/sim, src/dist): replayed
+                       simulations and traces must depend only on the
+                       seed. Use common/random.h (SplitMix64) and logical
+                       clocks.
+  unordered-container  std::unordered_{map,set,...} are banned in src/sim
+                       and src/dist: iteration order is
+                       implementation-defined and hash-seed dependent, so
+                       anything it feeds (traces, logs, drain order)
+                       breaks replay determinism. Use std::map/std::set.
+  pointer-keyed        std::map/std::set keyed by a raw pointer in src/sim
+                       and src/dist iterate in address order, which varies
+                       run to run. Key by a stable id instead.
+  owning-new           naked `new` / `delete` outside a smart-pointer
+                       expression, anywhere under src/. Lock-free
+                       structures that genuinely hand ownership through a
+                       CAS may suppress per line.
+  unannotated-mutex    a file in the concurrent layers that declares an
+                       rnt::Mutex member must use GUARDED_BY / REQUIRES /
+                       ACQUIRE somewhere: an unannotated mutex is opted
+                       out of the analysis silently.
+
+Suppression: append `// rnt-lint: allow(<rule>)` to the offending line,
+or put it alone on the line directly above. Suppressions should carry a
+justification in the surrounding comment.
+
+Fixtures (tools/lint/fixtures/) declare the path they should be linted
+as via a first-line `// lint-as: <relpath>` directive, so rule scoping
+can be exercised from outside src/. `--selftest` runs every fixture and
+checks that each bad_<rule>.cc trips exactly its rule and clean.cc trips
+nothing.
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import Callable, NamedTuple
+
+SOURCE_SUFFIXES = {".cc", ".h", ".cpp", ".hpp"}
+
+CONCURRENT_DIRS = ("src/lock", "src/txn", "src/sim", "src/faults",
+                   "src/baseline")
+DETERMINISTIC_DIRS = ("src/sim", "src/dist")
+
+# The sanctioned wrapper over the raw primitives.
+RAW_MUTEX_EXEMPT = {"src/common/mutex.h"}
+
+SUPPRESS_RE = re.compile(r"rnt-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+LINT_AS_RE = re.compile(r"^//\s*lint-as:\s*(\S+)")
+
+
+class Violation(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+
+class Line(NamedTuple):
+    number: int
+    code: str      # comment- and string-stripped text
+    raw: str       # original text (for directives that live in comments)
+
+
+def strip_comments_and_strings(text: str) -> list[str]:
+    """Returns per-line code with comments and string/char literals blanked.
+
+    A lightweight scanner, not a real lexer: it tracks //, /* */, "...",
+    '...' and escapes, which is enough for C++ that compiles. Raw strings
+    are treated as plain strings (good enough: our rules target tokens
+    that cannot legally appear mid-raw-string in this codebase).
+    """
+    out: list[str] = []
+    cur: list[str] = []
+    state = "code"  # code | line_comment | block_comment | dquote | squote
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            out.append("".join(cur))
+            cur = []
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                state = "dquote"
+                cur.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "squote"
+                cur.append(" ")
+                i += 1
+                continue
+            cur.append(c)
+            i += 1
+            continue
+        if state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            i += 1
+            continue
+        if state == "line_comment":
+            i += 1
+            continue
+        # String/char literal states.
+        if c == "\\":
+            i += 2
+            continue
+        if (state == "dquote" and c == '"') or (state == "squote" and c == "'"):
+            state = "code"
+        i += 1
+    out.append("".join(cur))
+    return out
+
+
+def in_dirs(relpath: str, prefixes: tuple[str, ...]) -> bool:
+    return any(relpath == p or relpath.startswith(p + "/") for p in prefixes)
+
+
+class Rule(NamedTuple):
+    name: str
+    applies: Callable[[str], bool]
+    # Line-level check over (code, previous_code): returns a message if
+    # the line violates the rule.
+    check_line: Callable[[str, str], str | None]
+
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|recursive_mutex|timed_mutex|shared_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b")
+
+NONDET_RE = re.compile(
+    r"(std::rand\b|\bsrand\s*\(|std::random_device\b|random_device\b|"
+    r"system_clock\b|high_resolution_clock\b|\btime\s*\(\s*(nullptr|NULL|0)\s*\)|"
+    r"\bgettimeofday\s*\(|\bclock\s*\(\s*\))")
+
+UNORDERED_RE = re.compile(
+    r"std::unordered_(map|set|multimap|multiset)\b")
+
+# The `*` must appear inside the first template argument (before any `,`
+# or the closing `>`): `std::map<Node*, int>` is pointer-keyed,
+# `std::set<NodeId>*` is merely a pointer to a set.
+POINTER_KEY_RE = re.compile(
+    r"std::(map|set|multimap|multiset)\s*<\s*[^,>]*\*")
+
+NAKED_NEW_RE = re.compile(r"\bnew\b")
+NAKED_DELETE_RE = re.compile(r"\bdelete\b(\s*\[\s*\])?")
+SMART_WRAP_RE = re.compile(
+    r"(make_unique|make_shared|unique_ptr|shared_ptr|weak_ptr)")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+
+
+def check_raw_mutex(code: str, prev_code: str = "") -> str | None:
+    m = RAW_MUTEX_RE.search(code)
+    if m:
+        return (f"raw std::{m.group(1)} in a concurrent layer; use the "
+                "annotated rnt::Mutex/MutexLock/CondVar (common/mutex.h) so "
+                "-Wthread-safety can check the discipline")
+    return None
+
+
+def check_nondeterminism(code: str, prev_code: str = "") -> str | None:
+    m = NONDET_RE.search(code)
+    if m:
+        return (f"nondeterminism source `{m.group(0).strip()}` in a "
+                "deterministic layer; derive everything from the seed "
+                "(common/random.h) or a logical clock")
+    return None
+
+
+def check_unordered(code: str, prev_code: str = "") -> str | None:
+    m = UNORDERED_RE.search(code)
+    if m:
+        return (f"std::unordered_{m.group(1)} in a deterministic layer; "
+                "iteration order is hash-seed dependent and breaks replay — "
+                "use std::map/std::set")
+    return None
+
+
+def check_pointer_keyed(code: str, prev_code: str = "") -> str | None:
+    if POINTER_KEY_RE.search(code):
+        return ("ordered container keyed by a raw pointer iterates in "
+                "address order, which varies run to run; key by a stable id")
+    return None
+
+
+def check_owning_new(code: str, prev_code: str = "") -> str | None:
+    if DELETED_FN_RE.search(code):
+        code = DELETED_FN_RE.sub(" ", code)
+    # A smart-pointer wrap may sit on the previous line when the
+    # expression wrapped (`return std::unique_ptr<T>(\n    new T(...))`).
+    if SMART_WRAP_RE.search(code) or SMART_WRAP_RE.search(prev_code):
+        return None
+    if NAKED_NEW_RE.search(code):
+        return ("naked `new` outside a smart-pointer expression; use "
+                "std::make_unique/std::make_shared")
+    if NAKED_DELETE_RE.search(code):
+        return ("naked `delete`; ownership should live in a smart pointer")
+    return None
+
+
+RULES: list[Rule] = [
+    Rule("raw-mutex",
+         lambda rel: in_dirs(rel, CONCURRENT_DIRS) and
+         rel not in RAW_MUTEX_EXEMPT,
+         check_raw_mutex),
+    Rule("nondeterminism",
+         lambda rel: in_dirs(rel, DETERMINISTIC_DIRS),
+         check_nondeterminism),
+    Rule("unordered-container",
+         lambda rel: in_dirs(rel, DETERMINISTIC_DIRS),
+         check_unordered),
+    Rule("pointer-keyed",
+         lambda rel: in_dirs(rel, DETERMINISTIC_DIRS),
+         check_pointer_keyed),
+    Rule("owning-new",
+         lambda rel: in_dirs(rel, ("src",)),
+         check_owning_new),
+]
+
+MUTEX_DECL_RE = re.compile(r"^\s*(mutable\s+)?(rnt::)?Mutex\s+\w+")
+ANNOTATION_RE = re.compile(
+    r"\b(GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|RELEASE|"
+    r"EXCLUDES|ASSERT_CAPABILITY)\s*\(")
+
+
+def suppressions_for(lines: list[Line], idx: int) -> set[str]:
+    """Rules suppressed for lines[idx]: same-line or previous-line allow()."""
+    allowed: set[str] = set()
+    for source in (lines[idx].raw,
+                   lines[idx - 1].raw if idx > 0 else ""):
+        m = SUPPRESS_RE.search(source)
+        if m:
+            allowed.update(r.strip() for r in m.group(1).split(","))
+    return allowed
+
+
+def lint_text(text: str, relpath: str, display_path: str) -> list[Violation]:
+    stripped = strip_comments_and_strings(text)
+    raw_lines = text.split("\n")
+    lines = [Line(i + 1, code, raw_lines[i] if i < len(raw_lines) else "")
+             for i, code in enumerate(stripped)]
+    active = [r for r in RULES if r.applies(relpath)]
+    out: list[Violation] = []
+    for i, ln in enumerate(lines):
+        if not ln.code.strip():
+            continue
+        prev_code = lines[i - 1].code if i > 0 else ""
+        allowed = None  # computed lazily: most lines are clean
+        for rule in active:
+            msg = rule.check_line(ln.code, prev_code)
+            if msg is None:
+                continue
+            if allowed is None:
+                allowed = suppressions_for(lines, i)
+            if rule.name in allowed:
+                continue
+            out.append(Violation(display_path, ln.number, rule.name, msg))
+    # File-level rule: a declared Mutex member without a single annotation
+    # means the file opted out of the analysis silently.
+    if (in_dirs(relpath, CONCURRENT_DIRS)
+            and relpath not in RAW_MUTEX_EXEMPT
+            and any(MUTEX_DECL_RE.match(ln.code) for ln in lines)
+            and not any(ANNOTATION_RE.search(ln.code) for ln in lines)):
+        decl = next(ln for ln in lines if MUTEX_DECL_RE.match(ln.code))
+        if "unannotated-mutex" not in suppressions_for(
+                lines, decl.number - 1):
+            out.append(Violation(
+                display_path, decl.number, "unannotated-mutex",
+                "file declares an rnt::Mutex but never uses "
+                "GUARDED_BY/REQUIRES/ACQUIRE; annotate what the mutex "
+                "protects so -Wthread-safety covers it"))
+    return out
+
+
+def lint_file(path: pathlib.Path, root: pathlib.Path) -> list[Violation]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    relpath = path.relative_to(root).as_posix()
+    # Fixtures pretend to live at their lint-as path.
+    first = text.split("\n", 1)[0]
+    m = LINT_AS_RE.match(first)
+    if m:
+        relpath = m.group(1)
+    return lint_text(text, relpath, str(path))
+
+
+def iter_sources(root: pathlib.Path):
+    for sub in ("src",):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for p in sorted(base.rglob("*")):
+            if p.suffix in SOURCE_SUFFIXES and p.is_file():
+                yield p
+
+
+def run_tree(root: pathlib.Path, paths: list[pathlib.Path]) -> int:
+    targets = paths if paths else list(iter_sources(root))
+    violations: list[Violation] = []
+    for p in targets:
+        violations.extend(lint_file(p, root))
+    for v in violations:
+        print(f"{v.path}:{v.line}: [{v.rule}] {v.message}")
+    if violations:
+        print(f"rnt-lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"rnt-lint: clean ({len(targets)} files)")
+    return 0
+
+
+def run_selftest(root: pathlib.Path) -> int:
+    fixtures = root / "tools" / "lint" / "fixtures"
+    if not fixtures.is_dir():
+        print(f"rnt-lint: no fixtures at {fixtures}", file=sys.stderr)
+        return 2
+    failures = 0
+    cases = sorted(fixtures.glob("*.cc"))
+    if not cases:
+        print("rnt-lint: fixture directory is empty", file=sys.stderr)
+        return 2
+    for case in cases:
+        got = lint_file(case, root)
+        rules_hit = {v.rule for v in got}
+        name = case.stem
+        if name.startswith("bad_"):
+            expected = name[len("bad_"):].replace("_", "-")
+            if expected in rules_hit:
+                print(f"PASS {case.name}: tripped [{expected}]")
+            else:
+                failures += 1
+                print(f"FAIL {case.name}: expected [{expected}], got "
+                      f"{sorted(rules_hit) or 'nothing'}", file=sys.stderr)
+        else:  # clean fixtures must be accepted
+            if got:
+                failures += 1
+                print(f"FAIL {case.name}: expected clean, got "
+                      f"{sorted(rules_hit)}", file=sys.stderr)
+                for v in got:
+                    print(f"  {v.path}:{v.line}: [{v.rule}]", file=sys.stderr)
+            else:
+                print(f"PASS {case.name}: clean")
+    if failures:
+        print(f"rnt-lint selftest: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"rnt-lint selftest: all {len(cases)} fixtures behaved")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="rnt_lint.py", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parents[2],
+                    help="repository root (default: two levels up)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="lint the fixtures and verify each trips its rule")
+    ap.add_argument("paths", nargs="*", type=pathlib.Path,
+                    help="specific files to lint (default: all of src/)")
+    args = ap.parse_args(argv)
+    root = args.root.resolve()
+    if args.selftest:
+        return run_selftest(root)
+    return run_tree(root, [p.resolve() for p in args.paths])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
