@@ -9,8 +9,15 @@
 // Emits a single JSON document on stdout so the trajectory can be
 // plotted directly:
 //   {"bench":"faults","nodes":3,"seeds":5,"trajectory":[{...},...]}
+//
+// With --sweep_json the document additionally carries a
+// "concurrent_trajectory": the same rate sweep executed on the
+// multi-threaded runner (ChaosOptions::concurrent_buffer), whose crash
+// triggers and partition windows run on the logical clock. That is the
+// committed artifact bench/e10_faults.json (see EXPERIMENTS.md E10).
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/random.h"
 #include "faults/faults.h"
@@ -49,6 +56,8 @@ rnt::faults::FaultPlan PlanAtRate(double rate, std::uint64_t seed) {
   plan.delay_prob = rate / 2;
   plan.max_delay_rounds = 3;
   if (rate > 0) {
+    // Round fields double as logical-clock stamps on the concurrent
+    // runner (CrashSpec::TriggerStamp falls back to `round`).
     plan.crashes.push_back(rnt::faults::CrashSpec{0, 15, 5});
     plan.crashes.push_back(rnt::faults::CrashSpec{1, 40, 5});
     plan.partitions.push_back(rnt::faults::PartitionSpec{0, 2, 20, 35});
@@ -68,80 +77,110 @@ struct RatePoint {
   std::uint64_t retries = 0;
   std::uint64_t timeout_aborts = 0;
   std::uint64_t crashes = 0;
+  std::uint64_t recovered = 0;
 };
+
+/// Runs the sweep at one rate on either runtime and prints the point.
+/// Returns false on a failed run (error already reported on stderr).
+bool SweepRate(double rate, bool concurrent, bool first_rate) {
+  RatePoint pt;
+  pt.rate = rate;
+  std::uint64_t total_commits = 0;
+  std::uint64_t top_commits = 0;
+  std::uint64_t total_msgs = 0;
+  int complete_runs = 0;
+  long total_rounds = 0;
+  for (int s = 0; s < kSeeds; ++s) {
+    rnt::action::ActionRegistry reg;
+    BuildProgram(reg, /*seed=*/100 + s);
+    rnt::dist::Topology topo = rnt::dist::Topology::RoundRobin(&reg, kNodes);
+    rnt::dist::DistAlgebra alg(&topo);
+    rnt::sim::ChaosOptions opt;
+    opt.plan = PlanAtRate(rate, /*seed=*/1000 * s + 7);
+    opt.concurrent_buffer = concurrent;
+    auto run = rnt::sim::ChaosRunProgram(alg, opt);
+    if (!run.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   run.status().ToString().c_str());
+      return false;
+    }
+    total_commits += run->stats.commits;
+    total_msgs += run->stats.messages;
+    total_rounds += run->stats.rounds;
+    if (run->complete) ++complete_runs;
+    for (ActionId a = 1; a < reg.size(); ++a) {
+      if (reg.Parent(a) == rnt::kRootAction &&
+          run->abstract.tree.IsCommitted(a)) {
+        ++top_commits;
+      }
+    }
+    pt.dropped += run->stats.dropped_msgs;
+    pt.duplicated += run->stats.duplicated_msgs;
+    pt.delayed += run->stats.delayed_msgs;
+    pt.retries += run->stats.retries;
+    pt.timeout_aborts += run->stats.timeout_aborts;
+    pt.crashes += run->stats.crashes;
+    pt.recovered += run->stats.recovered_nodes;
+  }
+  pt.commit_rate = static_cast<double>(top_commits) / (kSeeds * kTops);
+  pt.messages_per_commit =
+      total_commits == 0 ? 0.0
+                         : static_cast<double>(total_msgs) /
+                               static_cast<double>(total_commits);
+  pt.avg_rounds = static_cast<double>(total_rounds) / kSeeds;
+  pt.complete_fraction = static_cast<double>(complete_runs) / kSeeds;
+  std::printf(
+      "%s{\"rate\":%.2f,\"commit_rate\":%.4f,"
+      "\"messages_per_commit\":%.3f,\"avg_rounds\":%.1f,"
+      "\"complete_fraction\":%.2f,\"dropped\":%llu,\"duplicated\":%llu,"
+      "\"delayed\":%llu,\"retries\":%llu,\"timeout_aborts\":%llu,"
+      "\"crashes\":%llu,\"recovered\":%llu}",
+      first_rate ? "" : ",", pt.rate, pt.commit_rate, pt.messages_per_commit,
+      pt.avg_rounds, pt.complete_fraction,
+      static_cast<unsigned long long>(pt.dropped),
+      static_cast<unsigned long long>(pt.duplicated),
+      static_cast<unsigned long long>(pt.delayed),
+      static_cast<unsigned long long>(pt.retries),
+      static_cast<unsigned long long>(pt.timeout_aborts),
+      static_cast<unsigned long long>(pt.crashes),
+      static_cast<unsigned long long>(pt.recovered));
+  return true;
+}
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool sweep_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sweep_json") == 0) {
+      sweep_json = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--sweep_json]\n", argv[0]);
+      return 2;
+    }
+  }
   const double kRates[] = {0.0, 0.1, 0.3, 0.5};
   std::printf("{\"bench\":\"faults\",\"nodes\":%u,\"tops\":%d,\"seeds\":%d,",
               kNodes, kTops, kSeeds);
   std::printf("\"trajectory\":[");
   bool first_rate = true;
   for (double rate : kRates) {
-    RatePoint pt;
-    pt.rate = rate;
-    std::uint64_t total_commits = 0;
-    std::uint64_t top_commits = 0;
-    std::uint64_t total_msgs = 0;
-    int complete_runs = 0;
-    long total_rounds = 0;
-    for (int s = 0; s < kSeeds; ++s) {
-      rnt::action::ActionRegistry reg;
-      BuildProgram(reg, /*seed=*/100 + s);
-      rnt::dist::Topology topo =
-          rnt::dist::Topology::RoundRobin(&reg, kNodes);
-      rnt::dist::DistAlgebra alg(&topo);
-      rnt::sim::ChaosOptions opt;
-      opt.plan = PlanAtRate(rate, /*seed=*/1000 * s + 7);
-      auto run = rnt::sim::ChaosRunProgram(alg, opt);
-      if (!run.ok()) {
-        std::fprintf(stderr, "run failed: %s\n",
-                     run.status().ToString().c_str());
-        return 1;
-      }
-      total_commits += run->stats.commits;
-      total_msgs += run->stats.messages;
-      total_rounds += run->stats.rounds;
-      if (run->complete) ++complete_runs;
-      for (ActionId a = 1; a < reg.size(); ++a) {
-        if (reg.Parent(a) == rnt::kRootAction &&
-            run->abstract.tree.IsCommitted(a)) {
-          ++top_commits;
-        }
-      }
-      pt.dropped += run->stats.dropped_msgs;
-      pt.duplicated += run->stats.duplicated_msgs;
-      pt.delayed += run->stats.delayed_msgs;
-      pt.retries += run->stats.retries;
-      pt.timeout_aborts += run->stats.timeout_aborts;
-      pt.crashes += run->stats.crashes;
-    }
-    pt.commit_rate =
-        static_cast<double>(top_commits) / (kSeeds * kTops);
-    pt.messages_per_commit =
-        total_commits == 0
-            ? 0.0
-            : static_cast<double>(total_msgs) /
-                  static_cast<double>(total_commits);
-    pt.avg_rounds = static_cast<double>(total_rounds) / kSeeds;
-    pt.complete_fraction = static_cast<double>(complete_runs) / kSeeds;
-    std::printf(
-        "%s{\"rate\":%.2f,\"commit_rate\":%.4f,"
-        "\"messages_per_commit\":%.3f,\"avg_rounds\":%.1f,"
-        "\"complete_fraction\":%.2f,\"dropped\":%llu,\"duplicated\":%llu,"
-        "\"delayed\":%llu,\"retries\":%llu,\"timeout_aborts\":%llu,"
-        "\"crashes\":%llu}",
-        first_rate ? "" : ",", pt.rate, pt.commit_rate,
-        pt.messages_per_commit, pt.avg_rounds, pt.complete_fraction,
-        static_cast<unsigned long long>(pt.dropped),
-        static_cast<unsigned long long>(pt.duplicated),
-        static_cast<unsigned long long>(pt.delayed),
-        static_cast<unsigned long long>(pt.retries),
-        static_cast<unsigned long long>(pt.timeout_aborts),
-        static_cast<unsigned long long>(pt.crashes));
+    if (!SweepRate(rate, /*concurrent=*/false, first_rate)) return 1;
     first_rate = false;
   }
-  std::printf("]}\n");
+  std::printf("]");
+  if (sweep_json) {
+    // The same schedule on the multi-threaded runtime: crashes kill and
+    // rebirth real threads, partitions run at the mailbox's link filter,
+    // and avg_rounds is 0 by construction (free-running loops).
+    std::printf(",\"concurrent_trajectory\":[");
+    first_rate = true;
+    for (double rate : kRates) {
+      if (!SweepRate(rate, /*concurrent=*/true, first_rate)) return 1;
+      first_rate = false;
+    }
+    std::printf("]");
+  }
+  std::printf("}\n");
   return 0;
 }

@@ -11,12 +11,24 @@ std::string FaultPlan::ToString() const {
      << ", dup=" << dup_prob << ", delay=" << delay_prob << "(max "
      << max_delay_rounds << ")";
   for (const CrashSpec& c : crashes) {
-    os << ", crash(n" << c.node << "@r" << c.round << " for " << c.down_for
-       << ")";
+    if (c.at_stamp >= 0) {
+      os << ", crash(n" << c.node << "@s" << c.at_stamp << " for "
+         << (c.down_for_stamps >= 0 ? c.down_for_stamps
+                                    : static_cast<std::int64_t>(c.down_for))
+         << " stamps)";
+    } else {
+      os << ", crash(n" << c.node << "@r" << c.round << " for " << c.down_for
+         << ")";
+    }
   }
   for (const PartitionSpec& p : partitions) {
-    os << ", partition(n" << p.a << "|n" << p.b << " r[" << p.from_round
-       << "," << p.until_round << "))";
+    if (p.from_stamp >= 0) {
+      os << ", partition(n" << p.a << "|n" << p.b << " s[" << p.from_stamp
+         << "," << p.until_stamp << "))";
+    } else {
+      os << ", partition(n" << p.a << "|n" << p.b << " r[" << p.from_round
+         << "," << p.until_round << "))";
+    }
   }
   os << "}";
   return os.str();
@@ -49,9 +61,19 @@ FaultInjector::Verdict FaultInjector::OnMessage(NodeId from, NodeId to,
 }
 
 bool FaultInjector::Partitioned(NodeId a, NodeId b, int round) const {
+  if (round < 0) return false;  // free-running caller: stamp check applies
   for (const PartitionSpec& p : plan_.partitions) {
     bool pair = (p.a == a && p.b == b) || (p.a == b && p.b == a);
     if (pair && round >= p.from_round && round < p.until_round) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::PartitionedAtStamp(NodeId a, NodeId b,
+                                       std::int64_t stamp) const {
+  for (const PartitionSpec& p : plan_.partitions) {
+    bool pair = (p.a == a && p.b == b) || (p.a == b && p.b == a);
+    if (pair && stamp >= p.FromStamp() && stamp < p.UntilStamp()) return true;
   }
   return false;
 }
@@ -73,13 +95,47 @@ Status ValidatePlan(const FaultPlan& plan, NodeId num_nodes) {
       return Status::InvalidArgument(
           "crash round must be >= 0 and down_for >= 1");
     }
+    if (c.at_stamp < -1 || c.down_for_stamps < -1 || c.down_for_stamps == 0) {
+      return Status::InvalidArgument(
+          "crash stamp triggers must be -1 (unset) or at_stamp >= 0, "
+          "down_for_stamps >= 1");
+    }
+  }
+  // Overlapping crash intervals on one node are ambiguous (which rebirth
+  // wins?) — reject them in whichever clock domain each pair shares.
+  for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.crashes.size(); ++j) {
+      const CrashSpec& c = plan.crashes[i];
+      const CrashSpec& d = plan.crashes[j];
+      if (c.node != d.node) continue;
+      bool round_overlap = c.round < d.round + d.down_for &&
+                           d.round < c.round + c.down_for;
+      bool stamp_overlap = c.TriggerStamp() < d.RebirthStamp() &&
+                           d.TriggerStamp() < c.RebirthStamp();
+      bool same_domain = (c.at_stamp >= 0) == (d.at_stamp >= 0);
+      if (same_domain && (c.at_stamp >= 0 ? stamp_overlap : round_overlap)) {
+        return Status::InvalidArgument(
+            "overlapping crash intervals for one node");
+      }
+    }
   }
   for (const PartitionSpec& p : plan.partitions) {
     if (p.a >= num_nodes || p.b >= num_nodes) {
       return Status::InvalidArgument("partition names a node outside [k]");
     }
+    if (p.a == p.b) {
+      return Status::InvalidArgument(
+          "partition of a node from itself (a == b)");
+    }
     if (p.from_round > p.until_round) {
       return Status::InvalidArgument("partition interval is inverted");
+    }
+    if (p.from_stamp < -1 || p.until_stamp < -1 ||
+        (p.from_stamp >= 0) != (p.until_stamp >= 0) ||
+        (p.from_stamp >= 0 && p.from_stamp > p.until_stamp)) {
+      return Status::InvalidArgument(
+          "partition stamp window must be unset (-1, -1) or an ordered "
+          "pair of non-negative stamps");
     }
   }
   return Status::Ok();

@@ -1,6 +1,7 @@
 #ifndef RNT_FAULTS_FAULTS_H_
 #define RNT_FAULTS_FAULTS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -11,26 +12,66 @@
 
 namespace rnt::faults {
 
-/// Crash node `node` at the start of scheduler round `round`, wiping its
-/// volatile state (the action summary i.T). The node is reborn
-/// `down_for` rounds later; a fault-aware driver recovers it by replaying
+/// Crash node `node`, wiping its volatile state (the action summary i.T).
+/// The node is later reborn; a fault-aware driver recovers it by replaying
 /// the monotone message buffer M_i — the paper's recovery story, made
 /// executable (ℬ's buffer is "all information ever sent toward node i",
 /// so a rebirth that receives M_i is just another legal Receive event).
+///
+/// Two trigger clocks, one per runtime:
+///  * Round-based (`round`/`down_for`): the sequential chaos driver
+///    crashes at the start of scheduler round `round` and rebirths
+///    `down_for` rounds later.
+///  * Logical-clock (`at_stamp`/`down_for_stamps`): the free-running
+///    multi-threaded runner has no rounds; its clock is the global event
+///    stamp counter (one tick per recorded ℬ event, plus watchdog
+///    heartbeats). When `at_stamp >= 0` the node crashes once the global
+///    stamp reaches it and is reborn `down_for_stamps` (default: the
+///    round fields, reinterpreted in stamp units) ticks later. When
+///    `at_stamp < 0` the runner falls back to `round`/`down_for` read as
+///    stamps, so round-era plans keep working unchanged.
 struct CrashSpec {
   NodeId node = 0;
   int round = 0;
   int down_for = 4;
+  std::int64_t at_stamp = -1;          // < 0: derive from `round`
+  std::int64_t down_for_stamps = -1;   // < 0: derive from `down_for`
+
+  /// The logical-clock trigger used by the free-running runner.
+  std::int64_t TriggerStamp() const {
+    return at_stamp >= 0 ? at_stamp : static_cast<std::int64_t>(round);
+  }
+  /// First stamp at which the node may be reborn.
+  std::int64_t RebirthStamp() const {
+    std::int64_t span = down_for_stamps >= 0
+                            ? down_for_stamps
+                            : static_cast<std::int64_t>(down_for);
+    return TriggerStamp() + std::max<std::int64_t>(1, span);
+  }
 };
 
-/// Sever the link between nodes `a` and `b` for rounds [from, until):
-/// transmissions in either direction are dropped by the network during
-/// the interval.
+/// Sever the link between nodes `a` and `b`: transmissions in either
+/// direction are dropped by the network during the interval. Like
+/// CrashSpec, the window is expressed either in scheduler rounds
+/// ([from_round, until_round), sequential chaos driver) or on the
+/// free-running runner's logical clock ([from_stamp, until_stamp); when
+/// from_stamp < 0 the round fields are reinterpreted in stamp units).
 struct PartitionSpec {
   NodeId a = 0;
   NodeId b = 0;
   int from_round = 0;
   int until_round = 0;
+  std::int64_t from_stamp = -1;   // < 0: derive both bounds from rounds
+  std::int64_t until_stamp = -1;
+
+  std::int64_t FromStamp() const {
+    return from_stamp >= 0 ? from_stamp
+                           : static_cast<std::int64_t>(from_round);
+  }
+  std::int64_t UntilStamp() const {
+    return from_stamp >= 0 ? until_stamp
+                           : static_cast<std::int64_t>(until_round);
+  }
 };
 
 /// A seeded, fully deterministic description of the faults to inject into
@@ -80,9 +121,16 @@ class FaultInjector {
   /// Consumes a fixed number of PRNG draws per call regardless of the
   /// probabilities, so sweeps over fault rates with one seed see the same
   /// underlying random sequence.
+  /// Pass a negative `round` to disable the round-window partition check
+  /// (the free-running runner applies partitions at the mailbox via
+  /// PartitionedAtStamp instead, since its loop passes are not rounds).
   Verdict OnMessage(NodeId from, NodeId to, int round);
 
   bool Partitioned(NodeId a, NodeId b, int round) const;
+
+  /// Logical-clock variant for the free-running runner: true when the
+  /// a-b link is severed at global event stamp `stamp`.
+  bool PartitionedAtStamp(NodeId a, NodeId b, std::int64_t stamp) const;
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -91,7 +139,10 @@ class FaultInjector {
   Rng rng_;
 };
 
-/// Validates a plan: probabilities in [0, 1], non-negative intervals.
+/// Validates a plan: probabilities in [0, 1], nodes within [k],
+/// non-negative intervals, no self-partitions (a == b), no overlapping
+/// crash intervals for the same node (in either clock domain), and
+/// stamp-trigger fields that are each either unset (-1) or well-formed.
 Status ValidatePlan(const FaultPlan& plan, NodeId num_nodes);
 
 }  // namespace rnt::faults

@@ -564,15 +564,21 @@ txn::FaultStats ToFaultStats(const DriverStats& stats) {
   return f;
 }
 
-/// concurrent_buffer mode: delegate to the multi-threaded runner, then
-/// reconstruct the ChaosRun contract (abstract shadow, invariant check,
-/// stall diagnosis) post-hoc from the merged event log.
+/// concurrent_buffer mode: delegate to the multi-threaded runner — which
+/// now carries the full fault plan, crashes and partitions included —
+/// then reconstruct the ChaosRun contract (abstract shadow, invariant
+/// check, stall diagnosis) post-hoc from the merged event log. Every
+/// recovered run is judged by the same court as the sequential driver's:
+/// ReplayAbstract must find a level-4 image for the whole log, and the
+/// invariant check (when requested) holds the final state to the local
+/// possibilities mappings.
 static StatusOr<ChaosRun> ChaosRunConcurrent(const DistAlgebra& alg,
                                              const ChaosOptions& options) {
   ParallelOptions popts;
   popts.propagation = options.propagation;
   popts.abort_set = options.abort_set;
   popts.plan = options.plan;
+  popts.max_attempts_per_step = options.max_attempts_per_step;
   StatusOr<ParallelRun> par = RunParallel(alg, popts);
   RNT_RETURN_IF_ERROR(par.status());
   StatusOr<valuemap::ValState> abstract = ReplayAbstract(

@@ -38,12 +38,15 @@ struct ChaosOptions {
   bool check_invariants = false;
   /// Run on the multi-threaded ParallelRunner against the concurrent
   /// (mutex-free) message buffer instead of the round-based sequential
-  /// loop: faults are injected into real cross-thread traffic. Restricted
-  /// to message faults (drop/duplicate/delay — crash and partition plans
-  /// are rejected) and to kEager/kDelta propagation semantics (the runner
-  /// is reactive); `propagation` below selects which. The level-4 shadow
-  /// and the invariant check then run post-hoc over the merged event log
-  /// rather than per round.
+  /// loop: faults are injected into real cross-thread traffic, including
+  /// crashes (mid-loop thread death, rebirth by durable-buffer replay)
+  /// and partitions (link-level filter at the mailbox) — crash triggers
+  /// and partition windows run on the runner's logical clock (see
+  /// faults::CrashSpec). Restricted to kEager/kDelta propagation
+  /// semantics (the runner is reactive); `propagation` below selects
+  /// which, and `max_attempts_per_step` above feeds the per-node
+  /// watchdog. The level-4 shadow and the invariant check then run
+  /// post-hoc over the merged event log rather than per round.
   bool concurrent_buffer = false;
   /// Knowledge policy for concurrent_buffer mode (ignored otherwise).
   Propagation propagation = Propagation::kDelta;

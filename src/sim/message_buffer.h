@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -27,8 +28,25 @@ struct NodeMessage {
 /// for a destination detaches the whole list with one exchange and
 /// reverses it to recover FIFO order. Slots are cache-line separated so
 /// concurrent senders to different destinations never contend.
+///
+/// Two resilience features ride on the same slots:
+///  * A per-destination *durable retention buffer* — the monotone M_i of
+///    the paper's §9.1 recovery argument ("all information ever sent
+///    toward node i"). The owner thread merges every drained payload and
+///    every WAL self-append into it via Retain; a crash may wipe the
+///    node's volatile ActionSummary, but the retention summary survives
+///    and a reborn node recovers with one legal Receive(i, Retained(i)).
+///    Single-writer discipline: only node i's (current) thread calls
+///    Retain(i, ...); crash/rebirth hand-offs are sequenced by the
+///    supervisor's thread join, so no lock is needed.
+///  * A *link-level partition filter*: when set, Push consults it with
+///    (from, to) and silently refuses transmissions across a severed
+///    link — the network drops them; retention is untouched because the
+///    payload never reached the destination's durable log.
 class ConcurrentMailbox {
  public:
+  using LinkFilter = std::function<bool(NodeId from, NodeId to)>;
+
   explicit ConcurrentMailbox(NodeId k) : slots_(k) {}
 
   ~ConcurrentMailbox() {
@@ -45,8 +63,16 @@ class ConcurrentMailbox {
   ConcurrentMailbox(const ConcurrentMailbox&) = delete;
   ConcurrentMailbox& operator=(const ConcurrentMailbox&) = delete;
 
-  /// Lock-free multi-producer push toward `to`.
-  void Push(NodeId to, NodeMessage msg) {
+  /// Installs the partition filter. Must be called before any producer
+  /// thread starts (the filter object itself is read concurrently but
+  /// never mutated afterwards).
+  void SetLinkFilter(LinkFilter filter) { filter_ = std::move(filter); }
+
+  /// Lock-free multi-producer push toward `to`. Returns false when the
+  /// link filter severed the (msg.from, to) link — the transmission is
+  /// dropped by the network and never enqueued.
+  bool Push(NodeId to, NodeMessage msg) {
+    if (filter_ && msg.from != to && filter_(msg.from, to)) return false;
     // Raw node ownership is inherent to the lock-free CAS handoff: a
     // unique_ptr cannot express "owned by whichever thread wins the
     // exchange". Every path below provably frees (Drain/dtor).
@@ -56,6 +82,7 @@ class ConcurrentMailbox {
     while (!head.compare_exchange_weak(n->next, n, std::memory_order_release,
                                        std::memory_order_relaxed)) {
     }
+    return true;
   }
 
   /// Detaches and returns every pending message for `to`, oldest first.
@@ -79,6 +106,18 @@ class ConcurrentMailbox {
     return slots_[to].head.load(std::memory_order_acquire) == nullptr;
   }
 
+  /// Merges `payload` into destination `to`'s durable retention buffer
+  /// M_to. Owner-thread only (see class comment).
+  void Retain(NodeId to, const dist::ActionSummary& payload) {
+    slots_[to].retained.MergeFrom(payload);
+  }
+
+  /// The durable M_to: everything ever retained toward `to`. Readable by
+  /// the owner thread, or by the supervisor after joining it.
+  const dist::ActionSummary& Retained(NodeId to) const {
+    return slots_[to].retained;
+  }
+
  private:
   struct Node {
     NodeMessage msg;
@@ -86,8 +125,11 @@ class ConcurrentMailbox {
   };
   struct alignas(64) Slot {
     std::atomic<Node*> head{nullptr};
+    /// Durable retention summary M_i (single-writer: the owner thread).
+    dist::ActionSummary retained;
   };
   std::vector<Slot> slots_;
+  LinkFilter filter_;
 };
 
 }  // namespace rnt::sim

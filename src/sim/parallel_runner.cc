@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <utility>
+#include <variant>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -45,6 +47,22 @@ bool LocallyDead(const action::ActionRegistry& reg, const ActionSummary& t,
 /// was enqueued stays one at every later point — and the stamp counter is
 /// an RMW on one atomic, totally ordered consistently with the mailbox's
 /// release/acquire edges.
+///
+/// Resilience: the stamp counter doubles as the *logical clock* for the
+/// full FaultPlan. Each node WAL-appends every summary change into the
+/// mailbox's durable retention buffer (a one-entry self-send, recorded in
+/// the log so the buffer M_i of the replayed computation matches the
+/// device). A crash wipes the node's volatile summary and terminates its
+/// thread; the supervisor joins it and, once the logical clock passes the
+/// rebirth stamp (or the whole system quiesces — liveness beats schedule
+/// fidelity), spawns a fresh thread that replays M_i with one legal
+/// Receive and reconstructs its obligation cursors from the recovered
+/// knowledge plus the durable lock table (performed accesses carry
+/// committed status per effect (d21), so ticket cursors are recoverable).
+/// Partitions are enforced by the mailbox's link filter on the same
+/// clock; a per-node watchdog (bounded-backoff anti-entropy, then
+/// timeout-abort of the deepest locally-homed abortable enclosing
+/// subtransaction) turns unservable waits into graceful degradation.
 class ParallelRunner {
  public:
   ParallelRunner(const DistAlgebra& alg, const ParallelOptions& options)
@@ -54,25 +72,28 @@ class ParallelRunner {
         options_(options),
         state_(alg.Initial()),
         mailbox_(topo_.k()),
+        link_check_(options.plan),
         children_(reg_.size()),
         dead_(reg_.size(), 0),
-        workers_(topo_.k()) {}
+        workers_(topo_.k()) {
+    retry_enabled_ = options.plan.drop_prob > 0 ||
+                     !options.plan.crashes.empty() ||
+                     !options.plan.partitions.empty();
+  }
 
   StatusOr<ParallelRun> Run() {
     RNT_RETURN_IF_ERROR(Validate());
     Plan();
-    const NodeId k = topo_.k();
-    std::vector<std::thread> threads;
-    threads.reserve(k);
-    for (NodeId i = 0; i < k; ++i) {
-      threads.emplace_back([this, i] { RunNode(workers_[i]); });
+    if (!options_.plan.partitions.empty()) {
+      // Link-level partition enforcement at the mailbox, judged on the
+      // logical clock (loop passes are not rounds).
+      mailbox_.SetLinkFilter([this](NodeId from, NodeId to) {
+        return link_check_.PartitionedAtStamp(
+            from, to,
+            static_cast<std::int64_t>(seq_.load(std::memory_order_relaxed)));
+      });
     }
-    for (std::thread& t : threads) t.join();
-    {
-      MutexLock lock(error_mu_);
-      if (!first_error_.ok()) return first_error_;
-    }
-    return Assemble();
+    return Supervise();
   }
 
  private:
@@ -86,6 +107,17 @@ class ParallelRunner {
     std::vector<ActionId> tickets;
     std::size_t next = 0;
     bool drained = false;
+  };
+
+  /// Thread-lifecycle state of one node, for the crash/rebirth handshake
+  /// with the supervisor. Written by the node thread (kCrashed/kFinished,
+  /// release) and by the supervisor (kAwaitingRebirth after join,
+  /// kRunning before respawn).
+  enum ExitState : int {
+    kRunning = 0,
+    kCrashed,          // thread returned after a crash wipe; join me
+    kAwaitingRebirth,  // joined; waiting for the rebirth stamp
+    kFinished,         // thread returned for good
   };
 
   struct Worker {
@@ -112,6 +144,16 @@ class ParallelRunner {
     std::uint64_t passes = 0;
     bool marked_done = false;
     bool gave_up = false;
+    /// Crash schedule for this node (by ascending trigger stamp) and the
+    /// rebirth handshake with the supervisor.
+    std::vector<faults::CrashSpec> crash_specs;
+    std::size_t next_crash = 0;
+    std::int64_t rebirth_stamp = 0;
+    std::atomic<int> exit_state{kRunning};
+    /// Watchdog: unproductive anti-entropy retries since the last local
+    /// progress, and the idle count at which the next retry fires.
+    int attempts = 0;
+    std::uint64_t next_retry_idle = 0;
     DriverStats stats;
     std::vector<std::pair<std::uint64_t, DistEvent>> log;
   };
@@ -128,11 +170,6 @@ class ParallelRunner {
           "parallel runner is reactive: use kDelta or kEager propagation");
     }
     RNT_RETURN_IF_ERROR(faults::ValidatePlan(options_.plan, topo_.k()));
-    if (!options_.plan.crashes.empty() || !options_.plan.partitions.empty()) {
-      return Status::InvalidArgument(
-          "parallel runner injects message faults only; crash/partition "
-          "plans need the round-based chaos driver");
-    }
     return Status::Ok();
   }
 
@@ -153,6 +190,15 @@ class ParallelRunner {
       faults::FaultPlan plan = options_.plan;
       plan.seed = plan.seed * 1000003u + 17u * i + 1u;
       w.injector = std::make_unique<faults::FaultInjector>(plan);
+      for (const faults::CrashSpec& c : options_.plan.crashes) {
+        if (c.node == i) w.crash_specs.push_back(c);
+      }
+      std::sort(w.crash_specs.begin(), w.crash_specs.end(),
+                [](const faults::CrashSpec& a, const faults::CrashSpec& b) {
+                  return a.TriggerStamp() < b.TriggerStamp();
+                });
+      w.next_retry_idle =
+          static_cast<std::uint64_t>(std::max(1, options_.stall_retry_spins));
     }
     std::map<ObjectId, std::vector<ActionId>> tickets;
     // DFS: schedule creates/aborts/commits/tickets; abort_set subtrees
@@ -194,14 +240,104 @@ class ParallelRunner {
     }
     // Objects may also carry locks without appearing in tickets (never:
     // locks only arise from performs) — ticket objects suffice for drain.
+    for (Worker& w : workers_) {
+      w.done_flag.assign(w.aborts.size() + w.commits.size(), 0);
+    }
+  }
+
+  // ----------------------------------------------------------------
+  // Supervisor: spawns node threads, joins crashed ones, and rebirths
+  // them once the logical clock passes their rebirth stamp.
+
+  StatusOr<ParallelRun> Supervise() {
+    const NodeId k = topo_.k();
+    std::vector<std::thread> threads(k);
+    auto spawn = [&](NodeId i, bool recover) {
+      workers_[i].exit_state.store(kRunning, std::memory_order_release);
+      threads[i] =
+          std::thread([this, i, recover] { RunNode(workers_[i], recover); });
+    };
+    for (NodeId i = 0; i < k; ++i) spawn(i, /*recover=*/false);
+    std::uint64_t last_seq = seq_.load(std::memory_order_acquire);
+    int quiet_polls = 0;
+    // One poll every 50us; ~10ms of global stamp silence counts as
+    // quiescence (every live node is stalled, so waiting longer for a
+    // rebirth stamp cannot help — the clock only advances with events).
+    constexpr int kQuiescentPolls = 200;
+    for (;;) {
+      bool all_finished = true;
+      bool awaiting = false;
+      bool others_live = false;
+      for (NodeId i = 0; i < k; ++i) {
+        Worker& w = workers_[i];
+        int st = w.exit_state.load(std::memory_order_acquire);
+        if (st == kCrashed) {
+          threads[i].join();
+          w.exit_state.store(kAwaitingRebirth, std::memory_order_relaxed);
+          st = kAwaitingRebirth;
+        }
+        if (st == kFinished) continue;
+        all_finished = false;
+        if (st == kAwaitingRebirth) {
+          awaiting = true;
+        } else {
+          others_live = true;
+        }
+      }
+      if (all_finished) break;
+      const std::uint64_t now_seq = seq_.load(std::memory_order_acquire);
+      quiet_polls = now_seq == last_seq ? quiet_polls + 1 : 0;
+      last_seq = now_seq;
+      if (awaiting) {
+        const bool failed = failed_.load(std::memory_order_acquire);
+        const bool force =
+            failed || !others_live || quiet_polls >= kQuiescentPolls;
+        for (NodeId i = 0; i < k; ++i) {
+          Worker& w = workers_[i];
+          if (w.exit_state.load(std::memory_order_relaxed) !=
+              kAwaitingRebirth) {
+            continue;
+          }
+          if (failed) {
+            // The run is already lost; skip the rebirth ceremony.
+            w.exit_state.store(kFinished, std::memory_order_relaxed);
+            continue;
+          }
+          if (force ||
+              static_cast<std::int64_t>(now_seq) >= w.rebirth_stamp) {
+            spawn(i, /*recover=*/true);
+            quiet_polls = 0;
+          }
+        }
+      }
+      // Wall-clock poll interval: liveness only — never semantics. The
+      // run's outcome is independent of how often the supervisor looks.
+      std::this_thread::sleep_for(  // rnt-lint: allow(wall-clock-wait)
+          std::chrono::microseconds(50));
+    }
+    for (std::thread& t : threads) {
+      if (t.joinable()) t.join();
+    }
+    {
+      MutexLock lock(error_mu_);
+      if (!first_error_.ok()) return first_error_;
+    }
+    return Assemble();
   }
 
   // ----------------------------------------------------------------
   // Per-node event loop.
 
-  void RunNode(Worker& w) {
+  void RunNode(Worker& w, bool recover) {
+    if (recover) Recover(w);
     const NodeId k = topo_.k();
     while (!failed_.load(std::memory_order_acquire)) {
+      if (w.next_crash < w.crash_specs.size() &&
+          static_cast<std::int64_t>(seq_.load(std::memory_order_acquire)) >=
+              w.crash_specs[w.next_crash].TriggerStamp()) {
+        Crash(w);
+        return;  // mid-loop thread termination; supervisor rebirths us
+      }
       ++w.passes;
       bool progress = false;
       progress |= DeliverMail(w);
@@ -218,15 +354,14 @@ class ParallelRunner {
       if (done_nodes_.load(std::memory_order_acquire) == k) break;
       if (progress) {
         w.idle = 0;
+        w.attempts = 0;
+        w.next_retry_idle = static_cast<std::uint64_t>(
+            std::max(1, options_.stall_retry_spins));
       } else {
         ++w.idle;
-        if (options_.plan.drop_prob > 0 && options_.stall_retry_spins > 0 &&
-            w.idle % static_cast<std::uint64_t>(options_.stall_retry_spins) ==
-                0) {
-          // Anti-entropy: a dropped delta is gone for good, so a stalled
-          // node re-ships its full summary (still a legal sub-summary).
-          ++w.stats.retries;
-          FullBroadcast(w);
+        if (retry_enabled_ && options_.stall_retry_spins > 0 &&
+            w.idle >= w.next_retry_idle) {
+          Watchdog(w);
         }
         if (w.idle > options_.max_idle_spins && !w.marked_done) {
           w.gave_up = true;  // abandon; others may still finish
@@ -236,11 +371,184 @@ class ParallelRunner {
         std::this_thread::yield();
       }
     }
+    w.exit_state.store(kFinished, std::memory_order_release);
+  }
+
+  /// One watchdog firing: an anti-entropy full-summary re-broadcast (a
+  /// dropped delta is gone for good; a healed partition needs a resend),
+  /// a logical-clock heartbeat so stamp-based rebirths and partition
+  /// heals stay live while every thread idles, and — past the escalation
+  /// threshold — a timeout-abort. Backoff is bounded-exponential in idle
+  /// passes (shift capped at 5), the chaos driver's policy transplanted
+  /// into the free-running loop.
+  void Watchdog(Worker& w) {
+    ++w.stats.retries;
+    ++w.attempts;
+    seq_.fetch_add(1, std::memory_order_acq_rel);  // heartbeat tick
+    FullBroadcast(w);
+    if (!w.marked_done && w.attempts > options_.max_attempts_per_step) {
+      if (TimeoutAbort(w)) w.attempts = 0;
+    }
+    const std::uint64_t base = static_cast<std::uint64_t>(
+        std::max(1, options_.stall_retry_spins));
+    w.next_retry_idle = w.idle + (base << std::min(w.attempts, 5));
+  }
+
+  /// Crash: wipe the volatile summary (the durable value map — the lock
+  /// table for objects homed here — and the mailbox retention buffer M_i
+  /// survive), drop receiver-side held messages (volatile), and hand the
+  /// thread back to the supervisor for rebirth.
+  void Crash(Worker& w) {
+    const faults::CrashSpec& spec = w.crash_specs[w.next_crash];
+    ++w.next_crash;
+    state_.nodes[w.id].summary = ActionSummary{};
+    w.held.clear();
+    w.rebirth_stamp = spec.RebirthStamp();
+    ++w.stats.crashes;
+    w.exit_state.store(kCrashed, std::memory_order_release);
+  }
+
+  /// Rebirth: buffer replay is one legal Receive of the durable M_i
+  /// (paper §9.1 — "all information ever sent toward i"), after which the
+  /// obligation cursors are reconstructed from the recovered knowledge
+  /// and the durable lock table. A performed access carries committed
+  /// status in the summary (effect (d21)), so the per-object ticket
+  /// cursor is exactly the first not-yet-committed live ticket.
+  void Recover(Worker& w) {
+    const ActionSummary& m = mailbox_.Retained(w.id);
+    if (!m.empty()) {
+      DistEvent recv{dist::Receive{w.id, m}};
+      if (!alg_.Defined(state_, recv)) {
+        // Retention is built from exactly the Send payloads recorded
+        // toward us, so this would mean the WAL discipline is broken.
+        Fail(Status::Internal(
+            "parallel runner: rebirth replay is not a legal Receive"));
+        return;
+      }
+      alg_.Apply(state_, recv);
+      Record(w, std::move(recv));
+    }
+    ++w.stats.recovered_nodes;
+    ++w.version;
+    const ActionSummary& t = state_.nodes[w.id].summary;
+    for (ActionId a : w.creates) {
+      w.created[a] =
+          (t.Contains(a) || LocallyDead(reg_, t, a)) ? 1 : 0;
+    }
+    w.next_create = 0;
+    while (w.next_create < w.creates.size() &&
+           w.created[w.creates[w.next_create]]) {
+      ++w.next_create;
+    }
+    for (std::size_t i = 0; i < w.aborts.size(); ++i) {
+      w.done_flag[i] = t.IsAborted(w.aborts[i]) ? 1 : 0;
+    }
+    for (std::size_t i = 0; i < w.commits.size(); ++i) {
+      w.done_flag[w.aborts.size() + i] = t.IsDone(w.commits[i]) ? 1 : 0;
+    }
+    for (ObjectWork& ow : w.objects) {
+      ow.next = 0;
+      while (ow.next < ow.tickets.size() &&
+             (t.IsCommitted(ow.tickets[ow.next]) ||
+              LocallyDead(reg_, t, ow.tickets[ow.next]))) {
+        ++ow.next;
+      }
+      ow.drained = false;  // re-walk the durable lock table
+    }
+    w.idle = 0;
+    w.attempts = 0;
+    w.next_retry_idle =
+        static_cast<std::uint64_t>(std::max(1, options_.stall_retry_spins));
+  }
+
+  /// The chaos driver's timeout-abort, transplanted: after the watchdog
+  /// exhausts its retries, abort the deepest abortable enclosing
+  /// subtransaction *homed on this node* — first among a stuck lock
+  /// holder's ancestors (freeing the lock via the lose-lock path), then
+  /// on the node's own pending commit path (orphaning the stuck subtree,
+  /// which the orphan machinery must keep consistent). Only locally
+  /// homed actions are eligible: thread ownership of node components is
+  /// the runner's race-freedom invariant, and a remote abort would break
+  /// it. Counted in stats.timeout_aborts.
+  bool TimeoutAbort(Worker& w) {
+    const ActionSummary& t = state_.nodes[w.id].summary;
+    for (ObjectWork& ow : w.objects) {  // stuck lock holders first
+      if (ow.next >= ow.tickets.size()) continue;
+      ActionId requester = ow.tickets[ow.next];
+      if (!t.IsActive(requester)) continue;
+      const auto* entry = state_.nodes[w.id].vmap.EntriesFor(ow.x);
+      if (entry == nullptr) continue;
+      for (const auto& [b, v] : *entry) {
+        if (b == kRootAction || reg_.IsProperAncestor(b, requester)) continue;
+        if (LocallyDead(reg_, t, b) || t.IsCommitted(b)) break;  // walkable
+        if (AbortAncestorHomedHere(w, b, requester)) return true;
+        break;
+      }
+    }
+    // Own path: commits are in DFS post-order, so the first pending
+    // entry is the deepest unfinished subtransaction homed here.
+    for (std::size_t i = 0; i < w.commits.size(); ++i) {
+      const std::size_t flag = w.aborts.size() + i;
+      if (w.done_flag[flag]) continue;
+      ActionId a = w.commits[i];
+      if (!t.IsActive(a)) continue;
+      if (!ApplyNodeEvent(w, DistEvent{dist::NodeAbort{w.id, a}})) {
+        return false;
+      }
+      w.done_flag[flag] = 1;
+      ++w.stats.timeout_aborts;
+      return true;
+    }
+    return false;
+  }
+
+  /// Aborts the deepest non-access ancestor of `blocker` that is homed
+  /// here, active, and not an ancestor of `requester` (a blocked step
+  /// never shoots down its own transaction from here).
+  bool AbortAncestorHomedHere(Worker& w, ActionId blocker,
+                              ActionId requester) {
+    const ActionSummary& t = state_.nodes[w.id].summary;
+    for (ActionId c : reg_.AncestorChain(blocker)) {
+      if (c == kRootAction || reg_.IsAccess(c)) continue;
+      if (reg_.IsAncestor(c, requester)) continue;
+      if (topo_.HomeOfAction(c) != w.id) continue;
+      if (!t.IsActive(c)) continue;
+      if (!ApplyNodeEvent(w, DistEvent{dist::NodeAbort{w.id, c}})) {
+        return false;
+      }
+      for (std::size_t i = 0; i < w.commits.size(); ++i) {
+        if (w.commits[i] == c) {
+          w.done_flag[w.aborts.size() + i] = 1;
+          break;
+        }
+      }
+      ++w.stats.timeout_aborts;
+      return true;
+    }
+    return false;
   }
 
   /// Applies one node event on its owning thread: Defined is checked
   /// against the doer's own component only, so the check is race-free.
+  /// Summary-changing events (create/commit/abort/perform) are followed
+  /// by a WAL append — a one-entry self-send into the mailbox's durable
+  /// retention buffer — so M_i stays a superset of node i's volatile
+  /// knowledge and a crash can be recovered by buffer replay.
   bool ApplyNodeEvent(Worker& w, DistEvent e) {
+    ActionId wal_a = kInvalidAction;
+    action::ActionStatus wal_s = action::ActionStatus::kActive;
+    if (const auto* c = std::get_if<dist::NodeCreate>(&e)) {
+      wal_a = c->a;
+    } else if (const auto* c = std::get_if<dist::NodeCommit>(&e)) {
+      wal_a = c->a;
+      wal_s = action::ActionStatus::kCommitted;
+    } else if (const auto* c = std::get_if<dist::NodeAbort>(&e)) {
+      wal_a = c->a;
+      wal_s = action::ActionStatus::kAborted;
+    } else if (const auto* p = std::get_if<dist::NodePerform>(&e)) {
+      wal_a = p->a;  // effect (d21) sets the access committed
+      wal_s = action::ActionStatus::kCommitted;
+    }
     if (!alg_.Defined(state_, e)) {
       Fail(Status::Internal("parallel runner: event unexpectedly undefined: " +
                             dist::ToString(e)));
@@ -250,7 +558,24 @@ class ParallelRunner {
     ++w.stats.node_events;
     ++w.version;
     Record(w, std::move(e));
+    if (wal_a != kInvalidAction) WalAppend(w, wal_a, wal_s);
     return true;
+  }
+
+  /// WAL discipline: one-entry self-send after a summary change. The
+  /// entry is retained on the durable device and recorded in the log as
+  /// Send{i, i, entry}, so the replayed computation's buffer M_i matches
+  /// the retention buffer a rebirth replays.
+  void WalAppend(Worker& w, ActionId a, action::ActionStatus s) {
+    ActionSummary entry;
+    entry.AddActive(a);
+    if (s != action::ActionStatus::kActive) entry.SetStatus(a, s);
+    mailbox_.Retain(w.id, entry);
+    DistEvent send{dist::Send{w.id, w.id, std::move(entry)}};
+    // Always defined: the entry was just installed in our own summary
+    // (precondition (g11), payload <= sender's knowledge).
+    alg_.Apply(state_, send);  // merge into buffer M_i (g21)
+    Record(w, std::move(send));
   }
 
   void Record(Worker& w, DistEvent e) {
@@ -295,6 +620,10 @@ class ParallelRunner {
       w.stats.summary_entries += m.summary.size();
       Record(w, DistEvent{dist::Send{m.from, w.id, m.summary}});
       state_.buffer[w.id].MergeFrom(m.summary);  // (g21), on the receiver
+      // Durable retention: the delivered payload joins M_i on the device,
+      // exactly in step with the recorded Send (so a rebirth's replay
+      // Receive is legal at its point in the merged log).
+      mailbox_.Retain(w.id, m.summary);
       Record(w, DistEvent{dist::Receive{w.id, m.summary}});
       // The sender certainly knows what it sent: advancing our frontier
       // for it suppresses echo traffic.
@@ -316,6 +645,13 @@ class ParallelRunner {
     for (std::size_t idx = w.next_create; idx < w.creates.size(); ++idx) {
       ActionId a = w.creates[idx];
       if (w.created[a]) continue;
+      if (LocallyDead(reg_, t, a)) {
+        // A timeout-abort killed an enclosing subtransaction: the create
+        // obligation is resolved by never running (the subtree is dead).
+        w.created[a] = 1;
+        progress = true;
+        continue;
+      }
       ActionId p = reg_.Parent(a);
       if (p != kRootAction && (!t.Contains(p) || t.IsCommitted(p))) continue;
       if (!ApplyNodeEvent(w, DistEvent{dist::NodeCreate{w.id, a}})) {
@@ -394,6 +730,13 @@ class ParallelRunner {
     for (ObjectWork& ow : w.objects) {
       if (ow.next < ow.tickets.size()) {
         ActionId a = ow.tickets[ow.next];
+        if (LocallyDead(reg_, state_.nodes[w.id].summary, a)) {
+          // Orphaned ticket (enclosing subtransaction timeout-aborted):
+          // it will never perform — skip it so the queue keeps moving.
+          ++ow.next;
+          progress = true;
+          continue;
+        }
         if (!state_.nodes[w.id].summary.IsActive(a)) continue;
         if (!WalkLocks(w, ow.x, a, &progress)) continue;  // still blocked
         Value u = state_.nodes[w.id].vmap.PrincipalValue(ow.x, reg_);
@@ -504,18 +847,27 @@ class ParallelRunner {
   /// never becomes an event at all, exactly like the chaos driver's
   /// lost-before-the-buffer semantics.
   void Transmit(Worker& w, NodeId to, ActionSummary payload) {
-    faults::FaultInjector::Verdict v = w.injector->OnMessage(
-        w.id, to, static_cast<int>(w.passes & 0x7fffffff));
+    // round = -1: the free-running loop has no rounds, so the injector's
+    // round-window partition check is disabled; partitions are enforced
+    // link-level by the mailbox filter on the logical clock instead. The
+    // fixed-draw contract is untouched (draw count never depends on the
+    // round).
+    faults::FaultInjector::Verdict v =
+        w.injector->OnMessage(w.id, to, /*round=*/-1);
     if (v.drop) {
       ++w.stats.dropped_msgs;
       return;
     }
     if (v.duplicate_delay >= 0) {
       ++w.stats.duplicated_msgs;
-      mailbox_.Push(to, NodeMessage{w.id, payload,
-                                    std::max(1, v.duplicate_delay)});
+      if (!mailbox_.Push(
+              to, NodeMessage{w.id, payload, std::max(1, v.duplicate_delay)})) {
+        ++w.stats.dropped_msgs;  // severed link: the network ate it
+      }
     }
-    mailbox_.Push(to, NodeMessage{w.id, std::move(payload), v.delay});
+    if (!mailbox_.Push(to, NodeMessage{w.id, std::move(payload), v.delay})) {
+      ++w.stats.dropped_msgs;
+    }
   }
 
   // ----------------------------------------------------------------
@@ -534,6 +886,9 @@ class ParallelRunner {
       run.stats.releases += w.stats.releases;
       run.stats.loses += w.stats.loses;
       run.stats.retries += w.stats.retries;
+      run.stats.crashes += w.stats.crashes;
+      run.stats.recovered_nodes += w.stats.recovered_nodes;
+      run.stats.timeout_aborts += w.stats.timeout_aborts;
       run.stats.dropped_msgs += w.stats.dropped_msgs;
       run.stats.duplicated_msgs += w.stats.duplicated_msgs;
       run.stats.delayed_msgs += w.stats.delayed_msgs;
@@ -564,6 +919,10 @@ class ParallelRunner {
   const ParallelOptions& options_;
   DistState state_;
   ConcurrentMailbox mailbox_;
+  /// Const after construction; consulted concurrently by the mailbox's
+  /// link filter (PartitionedAtStamp only reads the plan).
+  faults::FaultInjector link_check_;
+  bool retry_enabled_ = false;
   std::vector<std::vector<ActionId>> children_;
   std::vector<char> dead_;
   std::vector<Worker> workers_;

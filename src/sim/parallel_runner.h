@@ -26,15 +26,36 @@ struct ParallelOptions {
   /// Actions to abort (instead of commit) once created; their descendants
   /// are never created. Same contract as DriverOptions::abort_set.
   std::set<ActionId> abort_set;
-  /// Message faults injected into the concurrent buffer (drop/duplicate/
-  /// delay — delays of distinct messages reorder them). Crash and
-  /// partition specs are rejected: they require the round-based recovery
-  /// machinery of the chaos driver, not the free-running loops here.
+  /// The full fault schedule: message faults (drop/duplicate/delay —
+  /// delays of distinct messages reorder them), crashes, and partitions.
+  /// The free-running loops have no rounds, so crash triggers and
+  /// partition windows run on the *logical clock* — the global event
+  /// stamp counter (CrashSpec::at_stamp / PartitionSpec::from_stamp;
+  /// round fields are reinterpreted in stamp units when unset). A crash
+  /// terminates the node's thread mid-loop after wiping its volatile
+  /// ActionSummary; the supervisor rebirths a fresh thread that replays
+  /// the mailbox's durable retention buffer M_i (one legal Receive) and
+  /// reconstructs its obligations from the recovered knowledge plus the
+  /// durable lock table. Partitions are enforced link-level at the
+  /// mailbox. Liveness note: when the whole system quiesces before a
+  /// rebirth stamp is reached, the supervisor rebirths early rather than
+  /// deadlock — stamp windows are upper bounds on patience, not exact
+  /// schedules.
   faults::FaultPlan plan;
-  /// Consecutive no-progress loop passes before a node re-broadcasts its
-  /// full summary (the anti-entropy retry that makes dropped deltas
-  /// recoverable; counted in stats.retries).
+  /// Base of the per-node watchdog's bounded exponential backoff:
+  /// consecutive no-progress loop passes before the first full-summary
+  /// re-broadcast (the anti-entropy retry that makes dropped deltas
+  /// recoverable; counted in stats.retries). Subsequent retries back off
+  /// exponentially (shift capped at 5). Each retry also ticks the
+  /// logical clock so stamp-based rebirths/partition heals stay live
+  /// while the system idles.
   int stall_retry_spins = 64;
+  /// Watchdog escalation threshold: unproductive retries before the node
+  /// timeout-aborts the deepest abortable enclosing subtransaction homed
+  /// locally (first of a stuck blocker's ancestors, then of its own
+  /// pending path) — the dynamic lose-lock/orphan path, for graceful
+  /// degradation under partitions. Counted in stats.timeout_aborts.
+  int max_attempts_per_step = 16;
   /// Consecutive no-progress passes before a node abandons its remaining
   /// obligations (returns an incomplete run rather than spinning forever;
   /// only reachable under adversarial fault plans or driver bugs).
@@ -62,6 +83,17 @@ struct ParallelRun {
 /// state (the algebra's Local Domain / Local Changes properties make the
 /// state partition race-free by construction) and the mutex-free
 /// ConcurrentMailbox carries summaries between nodes.
+///
+/// Resilience (see DESIGN.md "Resilience in the concurrent runtime"):
+/// the runner survives the full FaultPlan. A WAL discipline self-appends
+/// every summary change into the mailbox's durable retention buffer, so
+/// M_i stays a superset of node i's volatile knowledge; a crash kills
+/// the node thread after wiping that volatile summary, and the
+/// supervisor rebirths a fresh thread that replays M_i — the paper's
+/// §9.1 recovery, executed as one Receive event. A per-node watchdog
+/// (bounded-backoff anti-entropy retries, then timeout-abort of the
+/// deepest locally-abortable enclosing subtransaction) degrades
+/// partitioned runs gracefully to incomplete-but-diagnosed results.
 ///
 /// Scheduling discipline: per-object perform order is pinned to the
 /// sequential driver's DFS order (a ticket list per object). Waits then

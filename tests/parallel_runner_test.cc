@@ -176,7 +176,11 @@ TEST(ParallelRunnerTest, RejectsLazyPropagation) {
   EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(ParallelRunnerTest, RejectsCrashAndPartitionPlans) {
+/// Crash and partition plans are accepted now (the crash-recovery and
+/// partition behaviors themselves are exercised in
+/// parallel_recovery_test.cc); only *ill-formed* plans are rejected, via
+/// the tightened ValidatePlan.
+TEST(ParallelRunnerTest, AcceptsCrashPlansRejectsIllFormedOnes) {
   ActionRegistry reg;
   ActionId t = reg.NewAction(kRootAction);
   reg.NewAccess(t, 0, Update::Add(1));
@@ -184,12 +188,58 @@ TEST(ParallelRunnerTest, RejectsCrashAndPartitionPlans) {
   dist::DistAlgebra alg(&topo);
   ParallelOptions opt;
   opt.plan.crashes.push_back(faults::CrashSpec{0, 5, 3});
+  opt.plan.partitions.push_back(faults::PartitionSpec{0, 1, 0, 10});
   auto run = RunParallel(alg, opt);
-  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
-  ParallelOptions opt2;
-  opt2.plan.partitions.push_back(faults::PartitionSpec{0, 1, 0, 10});
-  auto run2 = RunParallel(alg, opt2);
-  EXPECT_EQ(run2.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->complete);
+  EXPECT_EQ(run->stats.crashes, 1u);
+  EXPECT_EQ(run->stats.recovered_nodes, 1u);
+
+  ParallelOptions self_part;
+  self_part.plan.partitions.push_back(faults::PartitionSpec{1, 1, 0, 10});
+  EXPECT_EQ(RunParallel(alg, self_part).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ParallelOptions overlap;
+  overlap.plan.crashes.push_back(faults::CrashSpec{0, 5, 10});
+  overlap.plan.crashes.push_back(faults::CrashSpec{0, 8, 10});
+  EXPECT_EQ(RunParallel(alg, overlap).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConcurrentMailboxTest, RetentionIsMonotoneAndSurvivesDrain) {
+  ConcurrentMailbox mb(2);
+  dist::ActionSummary s1;
+  s1.AddActive(1);
+  mb.Push(1, NodeMessage{0, s1});
+  mb.Retain(1, s1);  // owner thread retains what it drains
+  dist::ActionSummary s2;
+  s2.AddActive(1);
+  s2.SetStatus(1, action::ActionStatus::kCommitted);
+  s2.AddActive(2);
+  mb.Retain(1, s2);
+  (void)mb.Drain(1);
+  // M_1 holds the union, with done-status priority, after the queue is
+  // long empty — the durable buffer the rebirth Receive replays.
+  EXPECT_TRUE(mb.Retained(1).IsCommitted(1));
+  EXPECT_TRUE(mb.Retained(1).IsActive(2));
+  EXPECT_TRUE(mb.Retained(0).empty());
+}
+
+TEST(ConcurrentMailboxTest, LinkFilterSeversTransmissions) {
+  ConcurrentMailbox mb(2);
+  mb.SetLinkFilter([](NodeId from, NodeId to) {
+    return from == 0 && to == 1;  // one-way partition for the test
+  });
+  dist::ActionSummary s;
+  s.AddActive(1);
+  EXPECT_FALSE(mb.Push(1, NodeMessage{0, s}));  // severed
+  EXPECT_TRUE(mb.Empty(1));
+  EXPECT_TRUE(mb.Push(0, NodeMessage{1, s}));  // reverse link open
+  EXPECT_FALSE(mb.Empty(0));
+  // Self-sends (the WAL) always pass the filter.
+  EXPECT_TRUE(mb.Push(1, NodeMessage{1, s}));
+  EXPECT_FALSE(mb.Empty(1));
 }
 
 TEST(ParallelRunnerTest, RejectsAccessInAbortSet) {

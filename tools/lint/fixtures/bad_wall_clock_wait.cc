@@ -1,0 +1,18 @@
+// lint-as: src/sim/fixture_wait.cc
+// Fixture: timed waits in a deterministic layer must trip
+// [wall-clock-wait] — sleeping paces the simulation on the OS scheduler,
+// so retry counts and interleavings stop being functions of the seed.
+#include <chrono>
+#include <thread>
+
+namespace rnt::sim {
+
+inline void BadBackoff(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+}
+
+inline bool BadDeadline(std::chrono::steady_clock::time_point deadline) {
+  return std::chrono::steady_clock::now() < deadline;
+}
+
+}  // namespace rnt::sim

@@ -27,6 +27,15 @@ where the compiler cannot:
   pointer-keyed        std::map/std::set keyed by a raw pointer in src/sim
                        and src/dist iterate in address order, which varies
                        run to run. Key by a stable id instead.
+  wall-clock-wait      sleep_for / sleep_until / wait_for / wait_until /
+                       steady_clock reads are banned in src/sim and
+                       src/dist: a timed wait paces the simulation on the
+                       OS scheduler, so outcomes (retry counts, message
+                       interleavings) stop being functions of the seed.
+                       Pace on the logical clock or spin counters; a
+                       liveness-only poll that provably cannot change any
+                       recorded outcome may suppress per line (e.g. the
+                       parallel runner's supervisor poll).
   owning-new           naked `new` / `delete` outside a smart-pointer
                        expression, anywhere under src/. Lock-free
                        structures that genuinely hand ownership through a
@@ -180,6 +189,9 @@ UNORDERED_RE = re.compile(
 POINTER_KEY_RE = re.compile(
     r"std::(map|set|multimap|multiset)\s*<\s*[^,>]*\*")
 
+WALL_CLOCK_WAIT_RE = re.compile(
+    r"(\b(sleep_for|sleep_until|wait_for|wait_until)\s*\(|steady_clock\b)")
+
 NAKED_NEW_RE = re.compile(r"\bnew\b")
 NAKED_DELETE_RE = re.compile(r"\bdelete\b(\s*\[\s*\])?")
 SMART_WRAP_RE = re.compile(
@@ -221,6 +233,17 @@ def check_pointer_keyed(code: str, prev_code: str = "") -> str | None:
     return None
 
 
+def check_wall_clock_wait(code: str, prev_code: str = "") -> str | None:
+    m = WALL_CLOCK_WAIT_RE.search(code)
+    if m:
+        return (f"wall-clock wait `{m.group(0).strip().rstrip('(').strip()}` "
+                "in a deterministic layer; timed waits pace the simulation "
+                "on the OS scheduler — use the logical clock or spin "
+                "counters (suppress only for liveness-only polls that "
+                "cannot change a recorded outcome)")
+    return None
+
+
 def check_owning_new(code: str, prev_code: str = "") -> str | None:
     if DELETED_FN_RE.search(code):
         code = DELETED_FN_RE.sub(" ", code)
@@ -250,6 +273,9 @@ RULES: list[Rule] = [
     Rule("pointer-keyed",
          lambda rel: in_dirs(rel, DETERMINISTIC_DIRS),
          check_pointer_keyed),
+    Rule("wall-clock-wait",
+         lambda rel: in_dirs(rel, DETERMINISTIC_DIRS),
+         check_wall_clock_wait),
     Rule("owning-new",
          lambda rel: in_dirs(rel, ("src",)),
          check_owning_new),
