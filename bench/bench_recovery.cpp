@@ -1,0 +1,213 @@
+// Experiment E13 (EXPERIMENTS.md): the cost of durability. Two sweeps
+// over the storage layer, emitted as one JSON document on stdout (the
+// committed artifact bench/e13_recovery.json):
+//
+//  A. group-commit throughput vs batch size — four committing threads
+//     drive the DurableEngine while WalOptions::batch_records (the
+//     pending-record count that kicks an early flush) sweeps
+//     {1, 8, 64, 256, 1024}; reports commits/sec and the observed batch
+//     shape (rounds, avg, max) from the WAL's own counters.
+//
+//  B. restart-recovery time vs WAL size — write N committed nested
+//     transactions, close the engine cleanly (records stay in the WAL:
+//     reset only happens on Open/Checkpoint), then time the read-only
+//     storage::Recover pass over the directory.
+//
+// fsync is off in both sweeps: page-cache durability is the kill -9
+// fault model (the process dies, the page cache survives), and it keeps
+// the numbers about the protocol — batching, barriers, replay — rather
+// than the device. --smoke shrinks both sweeps to one cheap cell for
+// the bench-smoke CTest.
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "action/update.h"
+#include "common/random.h"
+#include "storage/durable_engine.h"
+#include "storage/recovery.h"
+
+namespace {
+
+using rnt::ObjectId;
+
+/// A throwaway storage directory under TMPDIR; removed on destruction.
+struct ScratchDir {
+  std::string path;
+
+  ScratchDir() {
+    char tmpl[] = "/tmp/rnt_e13_XXXXXX";
+    if (::mkdtemp(tmpl) != nullptr) path = tmpl;
+  }
+  ~ScratchDir() {
+    if (path.empty()) return;
+    if (DIR* d = ::opendir(path.c_str())) {
+      while (dirent* e = ::readdir(d)) {
+        if (std::strcmp(e->d_name, ".") == 0 ||
+            std::strcmp(e->d_name, "..") == 0) {
+          continue;
+        }
+        (void)::unlink((path + "/" + e->d_name).c_str());
+      }
+      (void)::closedir(d);
+    }
+    (void)::rmdir(path.c_str());
+  }
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One committing transaction: a marker bump plus (every other op) a
+/// committed child on a small shared pool — the nested shape the
+/// recovery sweep then has to replay.
+void CommitOne(rnt::txn::Engine* engine, ObjectId marker, rnt::Rng* rng) {
+  auto txn = engine->Begin();
+  if (!txn->Apply(marker, rnt::action::Update::Add(1)).ok()) return;
+  if (rng->Chance(0.5)) {
+    auto child = txn->BeginChild();
+    if (child.ok() &&
+        (*child)->Apply(static_cast<ObjectId>(rng->Below(8)),
+                        rnt::action::Update::Add(1)).ok()) {
+      (void)(*child)->Commit();
+    }
+  }
+  (void)txn->Commit();
+}
+
+/// Sweep A: commit throughput at one batch_records setting.
+bool ThroughputPoint(std::size_t batch_records, int threads,
+                     int ops_per_thread, bool first) {
+  ScratchDir dir;
+  if (dir.path.empty()) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return false;
+  }
+  rnt::storage::DurableEngineOptions opt;
+  opt.fsync = false;
+  opt.batch_records = batch_records;
+  opt.group_commit_interval = std::chrono::milliseconds(1);
+  auto engine = rnt::storage::DurableEngine::Open(dir.path, opt);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 engine.status().ToString().c_str());
+    return false;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      rnt::Rng rng(17 * (t + 1));
+      const ObjectId marker = static_cast<ObjectId>(1000 + t);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        CommitOne(engine->get(), marker, &rng);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double secs = SecondsSince(t0);
+  const auto stats = (*engine)->wal_stats();
+  const double commits = static_cast<double>(threads) * ops_per_thread;
+  std::printf(
+      "%s{\"batch_records\":%zu,\"threads\":%d,\"commits\":%.0f,"
+      "\"seconds\":%.4f,\"commits_per_sec\":%.0f,\"wal_records\":%llu,"
+      "\"flush_rounds\":%llu,\"avg_batch\":%.1f,\"max_batch\":%llu}",
+      first ? "" : ",", batch_records, threads, commits, secs,
+      commits / secs, static_cast<unsigned long long>(stats.appended),
+      static_cast<unsigned long long>(stats.batches),
+      stats.batches == 0 ? 0.0
+                         : static_cast<double>(stats.synced_records) /
+                               static_cast<double>(stats.batches),
+      static_cast<unsigned long long>(stats.max_batch));
+  return true;
+}
+
+/// Sweep B: restart-recovery time over a WAL holding `txns` committed
+/// transactions.
+bool RecoveryPoint(int txns, bool first) {
+  ScratchDir dir;
+  if (dir.path.empty()) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return false;
+  }
+  {
+    rnt::storage::DurableEngineOptions opt;
+    opt.fsync = false;
+    opt.group_commit_interval = std::chrono::milliseconds(1);
+    auto engine = rnt::storage::DurableEngine::Open(dir.path, opt);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   engine.status().ToString().c_str());
+      return false;
+    }
+    rnt::Rng rng(29);
+    for (int i = 0; i < txns; ++i) CommitOne(engine->get(), 1000, &rng);
+    // Engine teardown flushes and stops the group-commit thread; the
+    // records stay in the worker files for Recover to scan.
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report =
+      rnt::storage::Recover(rnt::storage::RecoveryOptions{dir.path, {}});
+  const double secs = SecondsSince(t0);
+  if (!report.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n",
+                 report.status().ToString().c_str());
+    return false;
+  }
+  std::printf(
+      "%s{\"txns\":%d,\"wal_records\":%llu,\"committed_top\":%llu,"
+      "\"recovery_seconds\":%.4f,\"records_per_sec\":%.0f}",
+      first ? "" : ",", txns,
+      static_cast<unsigned long long>(report->records_scanned),
+      static_cast<unsigned long long>(report->committed_top), secs,
+      secs == 0 ? 0.0
+                : static_cast<double>(report->records_scanned) / secs);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+  const std::vector<std::size_t> batches =
+      smoke ? std::vector<std::size_t>{64}
+            : std::vector<std::size_t>{1, 8, 64, 256, 1024};
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{200} : std::vector<int>{1000, 4000, 16000};
+  const int threads = 4;
+  const int ops = smoke ? 50 : 250;
+
+  std::printf("{\"bench\":\"recovery\",\"fsync\":false,");
+  std::printf("\"group_commit\":[");
+  bool first = true;
+  for (std::size_t b : batches) {
+    if (!ThroughputPoint(b, threads, ops, first)) return 1;
+    first = false;
+  }
+  std::printf("],\"recovery\":[");
+  first = true;
+  for (int n : sizes) {
+    if (!RecoveryPoint(n, first)) return 1;
+    first = false;
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ILLEGAL_STATE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }

@@ -38,6 +38,10 @@ enum class StatusCode : int {
   kIllegalState = 7,
   /// Internal invariant violation: a bug in the library.
   kInternal = 8,
+  /// Durable state is unrecoverable (mid-log CRC corruption, semantic
+  /// WAL damage). Unlike kAborted this is not retryable: the storage
+  /// layer refuses to open rather than serve silently wrong values.
+  kDataLoss = 9,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "ABORTED", ...).
@@ -80,6 +84,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

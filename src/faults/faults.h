@@ -50,6 +50,23 @@ struct CrashSpec {
   }
 };
 
+/// Kill the whole *process* — SIGKILL, no destructors, no flush — after
+/// `after_ops` durable top-level commits. The process-level analogue of
+/// CrashSpec: where a node crash wipes one node's volatile summary and
+/// trusts the retention buffer M_i, a process kill wipes *every* thread's
+/// volatile state at once and trusts only what reached the disk (the
+/// storage layer's WAL + snapshot). Executed by the fork/kill/recover
+/// harness in sim/process_chaos.h: the child workload raises SIGKILL on
+/// itself the moment its committed-op counter passes the trigger, so the
+/// kill lands at a different engine state every run.
+struct ProcessCrashSpec {
+  /// Durable top-level commits to allow before the self-kill. < 0: never
+  /// crash (the workload runs to completion — the control cycle).
+  std::int64_t after_ops = -1;
+
+  bool Enabled() const { return after_ops >= 0; }
+};
+
 /// Sever the link between nodes `a` and `b`: transmissions in either
 /// direction are dropped by the network during the interval. Like
 /// CrashSpec, the window is expressed either in scheduler rounds

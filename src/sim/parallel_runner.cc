@@ -10,6 +10,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "sim/message_buffer.h"
+#include "storage/retention_log.h"
 
 namespace rnt::sim {
 
@@ -83,6 +84,17 @@ class ParallelRunner {
 
   StatusOr<ParallelRun> Run() {
     RNT_RETURN_IF_ERROR(Validate());
+    if (!options_.durable_dir.empty()) {
+      // Durable M_i write-through: one append-only log per node. Opened
+      // before any thread exists; appends happen on the owner thread
+      // under the same single-writer discipline as mailbox retention.
+      retention_logs_.resize(topo_.k());
+      for (NodeId i = 0; i < topo_.k(); ++i) {
+        auto log = storage::RetentionLog::Open(options_.durable_dir, i);
+        RNT_RETURN_IF_ERROR(log.status());
+        retention_logs_[i] = std::move(*log);
+      }
+    }
     Plan();
     if (!options_.plan.partitions.empty()) {
       // Link-level partition enforcement at the mailbox, judged on the
@@ -416,6 +428,25 @@ class ParallelRunner {
   /// cursor is exactly the first not-yet-committed live ticket.
   void Recover(Worker& w) {
     const ActionSummary& m = mailbox_.Retained(w.id);
+    if (!retention_logs_.empty()) {
+      // Recover-from-disk audit: the on-disk log, re-read and merged
+      // monotonically, must cover everything the in-memory M_i holds —
+      // write-through happened before this thread ever died, so a
+      // process restart would have recovered at least this knowledge.
+      auto loaded =
+          storage::RetentionLog::Load(options_.durable_dir, w.id);
+      if (!loaded.ok()) {
+        Fail(loaded.status());
+        return;
+      }
+      if (!m.IsSubsummaryOf(*loaded)) {
+        Fail(Status::Internal(
+            "parallel runner: durable retention log for node " +
+            std::to_string(w.id) +
+            " does not cover the in-memory M_i (write-through broken)"));
+        return;
+      }
+    }
     if (!m.empty()) {
       DistEvent recv{dist::Receive{w.id, m}};
       if (!alg_.Defined(state_, recv)) {
@@ -571,6 +602,7 @@ class ParallelRunner {
     entry.AddActive(a);
     if (s != action::ActionStatus::kActive) entry.SetStatus(a, s);
     mailbox_.Retain(w.id, entry);
+    RetainDurable(w.id, entry);
     DistEvent send{dist::Send{w.id, w.id, std::move(entry)}};
     // Always defined: the entry was just installed in our own summary
     // (precondition (g11), payload <= sender's knowledge).
@@ -582,6 +614,21 @@ class ParallelRunner {
     if (!options_.record_events) return;
     w.log.emplace_back(seq_.fetch_add(1, std::memory_order_relaxed),
                        std::move(e));
+  }
+
+  /// Writes `payload` through to node `node`'s on-disk retention log
+  /// (no-op without durable_dir). Runs on the node's owner thread, right
+  /// where the in-memory Retain happened, so disk M_i trails memory by at
+  /// most the entries of the current call.
+  void RetainDurable(NodeId node, const ActionSummary& payload) {
+    if (retention_logs_.empty()) return;
+    for (const auto& [a, s] : payload.entries()) {
+      const Status w = retention_logs_[node]->Append(a, s);
+      if (!w.ok()) {
+        Fail(w);
+        return;
+      }
+    }
   }
 
   void Fail(Status s) {
@@ -624,6 +671,7 @@ class ParallelRunner {
       // exactly in step with the recorded Send (so a rebirth's replay
       // Receive is legal at its point in the merged log).
       mailbox_.Retain(w.id, m.summary);
+      RetainDurable(w.id, m.summary);
       Record(w, DistEvent{dist::Receive{w.id, m.summary}});
       // The sender certainly knows what it sent: advancing our frontier
       // for it suppresses echo traffic.
@@ -919,6 +967,9 @@ class ParallelRunner {
   const ParallelOptions& options_;
   DistState state_;
   ConcurrentMailbox mailbox_;
+  /// Per-node durable retention logs (empty without durable_dir); the
+  /// slot for node i is appended to only by i's current thread.
+  std::vector<std::unique_ptr<storage::RetentionLog>> retention_logs_;
   /// Const after construction; consulted concurrently by the mailbox's
   /// link filter (PartitionedAtStamp only reads the plan).
   faults::FaultInjector link_check_;

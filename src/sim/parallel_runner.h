@@ -63,6 +63,17 @@ struct ParallelOptions {
   /// Record the applied ℬ events (globally stamped, mergeable into one
   /// valid computation). Disable for wall-clock benchmarking.
   bool record_events = true;
+  /// When non-empty, every entry retained into a node's durable buffer
+  /// M_i (the §9.1 retention summary) is also written through to an
+  /// append-only storage::RetentionLog file `durable_dir/retained-NNN.log`
+  /// — so M_i is durable against *process* death, not just node-thread
+  /// crashes. On rebirth the runner re-loads the on-disk log and verifies
+  /// the in-memory retention is a sub-summary of it (the write-through
+  /// discipline audited at the moment it matters). The directory must
+  /// exist; logs from a previous run of the same program are appended to,
+  /// and RetentionLog::Load merges records monotonically (status upgrades
+  /// only), mirroring M_i's monotonicity.
+  std::string durable_dir;
 };
 
 /// Result of a parallel run.

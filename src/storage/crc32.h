@@ -1,0 +1,50 @@
+#ifndef RNT_STORAGE_CRC32_H_
+#define RNT_STORAGE_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rnt::storage {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// range. Every WAL and snapshot record carries this checksum so
+/// recovery can tell a torn tail (incomplete record at end-of-file,
+/// expected after a crash) from real corruption (a damaged record that
+/// acknowledged durability — kDataLoss).
+///
+/// Software table implementation: portable, no hardware CRC dependency,
+/// and fast enough — the group-commit thread checksums batches off the
+/// transaction critical path.
+namespace internal {
+
+constexpr std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    MakeCrc32Table();
+
+}  // namespace internal
+
+inline std::uint32_t Crc32(const void* data, std::size_t size,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = internal::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace rnt::storage
+
+#endif  // RNT_STORAGE_CRC32_H_

@@ -1,0 +1,124 @@
+#include "storage/durable_engine.h"
+
+#include <utility>
+
+#include "storage/file_io.h"
+#include "storage/log_reader.h"
+#include "storage/snapshot.h"
+
+namespace rnt::storage {
+
+/// Wraps an inner transaction handle; top-level commits wait for the
+/// group-commit barrier before acknowledging.
+class DurableEngine::Handle final : public txn::TxnHandle {
+ public:
+  Handle(std::unique_ptr<txn::TxnHandle> inner, Wal* wal, bool top)
+      : inner_(std::move(inner)), wal_(wal), top_(top) {}
+
+  StatusOr<Value> Get(ObjectId x) override { return inner_->Get(x); }
+  Status Put(ObjectId x, Value v) override { return inner_->Put(x, v); }
+  StatusOr<Value> Apply(ObjectId x, const action::Update& update) override {
+    return inner_->Apply(x, update);
+  }
+
+  StatusOr<std::unique_ptr<txn::TxnHandle>> BeginChild() override {
+    RNT_ASSIGN_OR_RETURN(std::unique_ptr<txn::TxnHandle> child,
+                         inner_->BeginChild());
+    return std::unique_ptr<txn::TxnHandle>(
+        new Handle(std::move(child), wal_, /*top=*/false));
+  }
+
+  Status Commit() override {
+    RNT_RETURN_IF_ERROR(inner_->Commit());
+    // Durability point: only a *top-level* commit is acknowledged to
+    // the outside world, so only it waits for the WAL horizon.
+    // Subtransaction commits log (the record is already buffered) but
+    // return immediately — the paper's commit-to-parent is a
+    // visibility event, not a durability event.
+    if (top_) return wal_->BarrierAll();
+    return Status::Ok();
+  }
+
+  Status Abort() override { return inner_->Abort(); }
+
+ private:
+  std::unique_ptr<txn::TxnHandle> inner_;
+  Wal* wal_;
+  const bool top_;
+};
+
+StatusOr<std::unique_ptr<DurableEngine>> DurableEngine::Open(
+    const std::string& dir, DurableEngineOptions options) {
+  // 1. Restart recovery (read-only).
+  RecoveryOptions ropts;
+  ropts.dir = dir;
+  ropts.after_redo = options.after_redo;
+  RNT_ASSIGN_OR_RETURN(RecoveryReport recovery, Recover(ropts));
+
+  // 2. The recovered store becomes the new checkpoint. Atomic rename:
+  // a crash here leaves either the old snapshot (re-recover from the
+  // same inputs) or the new one (stale WAL records are skipped).
+  Snapshot snap;
+  snap.last_lsn = recovery.last_lsn;
+  snap.store = recovery.store;
+  RNT_RETURN_IF_ERROR(WriteSnapshot(dir, snap));
+
+  if (options.between_snapshot_and_reset) options.between_snapshot_and_reset();
+
+  // 3. Old WAL records are all at-or-below the new snapshot horizon
+  // (or beyond a gap): dead either way. Remove the files; Wal::Open
+  // recreates its worker set fresh.
+  for (const std::string& path : ListWalFiles(dir)) {
+    RNT_RETURN_IF_ERROR(RemoveFile(path));
+  }
+
+  // 4. Fresh WAL, LSNs continuing past the horizon; engine preloaded
+  // with the recovered store and wired to log through the WAL.
+  WalOptions wopts;
+  wopts.dir = dir;
+  wopts.workers = options.wal_workers;
+  wopts.group_commit_interval = options.group_commit_interval;
+  wopts.batch_records = options.batch_records;
+  wopts.fsync = options.fsync;
+  wopts.first_lsn = recovery.last_lsn + 1;
+  RNT_ASSIGN_OR_RETURN(std::unique_ptr<Wal> wal, Wal::Open(std::move(wopts)));
+
+  txn::TransactionManager::Options eopts = options.engine;
+  eopts.trace_sink = wal.get();
+  auto inner = std::make_unique<txn::TransactionManager>(eopts);
+  inner->Preload(recovery.store);
+
+  return std::unique_ptr<DurableEngine>(
+      new DurableEngine(dir, std::move(recovery), std::move(wal),
+                        std::move(inner)));
+}
+
+DurableEngine::DurableEngine(std::string dir, RecoveryReport recovery,
+                             std::unique_ptr<Wal> wal,
+                             std::unique_ptr<txn::TransactionManager> inner)
+    : dir_(std::move(dir)),
+      recovery_(std::move(recovery)),
+      wal_(std::move(wal)),
+      inner_(std::move(inner)) {}
+
+DurableEngine::~DurableEngine() = default;
+
+std::unique_ptr<txn::TxnHandle> DurableEngine::Begin() {
+  return std::unique_ptr<txn::TxnHandle>(
+      new Handle(inner_->Begin(), wal_.get(), /*top=*/true));
+}
+
+Value DurableEngine::ReadCommitted(ObjectId x) {
+  return inner_->ReadCommitted(x);
+}
+
+Status DurableEngine::Checkpoint() {
+  RNT_RETURN_IF_ERROR(wal_->BarrierAll());
+  Snapshot snap;
+  snap.last_lsn = wal_->next_lsn() - 1;
+  snap.store = inner_->DumpCommitted();
+  RNT_RETURN_IF_ERROR(WriteSnapshot(dir_, snap));
+  return wal_->Reset();
+}
+
+}  // namespace rnt::storage

@@ -1,0 +1,49 @@
+#ifndef RNT_STORAGE_LOG_READER_H_
+#define RNT_STORAGE_LOG_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/wal_format.h"
+
+namespace rnt::storage {
+
+/// The parsed contents of one per-worker WAL file.
+struct WalFileContents {
+  std::vector<WalRecord> records;
+  /// True when the file ended mid-record — the expected signature of a
+  /// crash during an append. The torn bytes are discarded (they were
+  /// never acknowledged: group commit only advances the horizon past
+  /// records it fully wrote and synced).
+  bool torn_tail = false;
+  std::uint64_t torn_bytes = 0;
+};
+
+/// Reads and validates one WAL file.
+///
+/// Failure taxonomy (the torn-write satellite's contract):
+///  * short header/payload at end-of-file  -> torn tail, tolerated;
+///  * CRC mismatch on a fully present record -> kDataLoss (bit
+///    corruption of data that claimed durability), with file, record
+///    offset, and LSN-so-far in the message;
+///  * bad file magic or impossible size field with full record space
+///    present -> kDataLoss likewise.
+///
+/// The distinction is sound because appends are sequential: a crash can
+/// only leave a *prefix* of the file, so anything short lives at the
+/// tail, while a failed checksum inside complete bytes can never be
+/// produced by a torn append.
+StatusOr<WalFileContents> ReadWalFile(const std::string& path);
+
+/// The WAL file paths present in `dir`, in worker order. Gaps in the
+/// index sequence are not an error — a crash during WAL reset may have
+/// unlinked an arbitrary subset.
+std::vector<std::string> ListWalFiles(const std::string& dir);
+
+/// Upper bound on per-directory worker files probed by ListWalFiles.
+inline constexpr std::uint32_t kMaxWalWorkers = 256;
+
+}  // namespace rnt::storage
+
+#endif  // RNT_STORAGE_LOG_READER_H_

@@ -1,0 +1,212 @@
+#include "storage/recovery.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "storage/log_reader.h"
+#include "storage/snapshot.h"
+
+namespace rnt::storage {
+
+namespace {
+
+using lock::kNoTxn;
+using lock::TxnId;
+
+/// Redo-time transaction record: the nested value map in miniature.
+struct RedoTxn {
+  TxnId parent = kNoTxn;
+  enum class State : std::uint8_t { kActive, kCommitted, kAborted } state =
+      State::kActive;
+  std::map<ObjectId, Value> buffer;
+};
+
+}  // namespace
+
+StatusOr<RecoveryReport> Recover(const RecoveryOptions& options) {
+  RecoveryReport report;
+
+  // ---- Load the snapshot (absent on a fresh directory). ----
+  Snapshot snap;
+  auto snap_or = ReadSnapshot(options.dir);
+  if (snap_or.ok()) {
+    snap = std::move(snap_or).value();
+    report.snapshot_loaded = true;
+  } else if (snap_or.status().code() != StatusCode::kNotFound) {
+    return snap_or.status();  // kDataLoss: refuse to open
+  }
+  report.store = snap.store;
+  report.last_lsn = snap.last_lsn;
+
+  // ---- Scan the per-worker files; merge by LSN. ----
+  std::vector<WalRecord> records;
+  for (const std::string& path : ListWalFiles(options.dir)) {
+    RNT_ASSIGN_OR_RETURN(WalFileContents contents, ReadWalFile(path));
+    if (contents.torn_tail) ++report.torn_tails;
+    report.records_scanned += contents.records.size();
+    records.insert(records.end(), contents.records.begin(),
+                   contents.records.end());
+  }
+  std::sort(records.begin(), records.end(),
+            [](const WalRecord& a, const WalRecord& b) {
+              return a.lsn < b.lsn;
+            });
+
+  // ---- Gap truncation: keep the dense prefix above the snapshot. ----
+  // Stale records (lsn <= snapshot horizon) are skipped: their effects
+  // are already in the snapshot — they only exist when a crash hit the
+  // checkpoint between snapshot write and WAL reset. Everything past
+  // the first gap was never acknowledged (the durable horizon is the
+  // end of a dense prefix) and is dropped.
+  std::vector<txn::TraceEvent> events;
+  std::uint64_t expect = snap.last_lsn + 1;
+  bool gapped = false;
+  for (const WalRecord& rec : records) {
+    if (rec.lsn <= snap.last_lsn) {
+      ++report.records_stale;
+      continue;
+    }
+    if (gapped || rec.lsn != expect) {
+      if (!gapped && rec.lsn < expect) {
+        return Status::DataLoss(
+            "WAL: duplicate LSN " + std::to_string(rec.lsn) +
+            " (two incarnations' logs interleaved — corrupt directory)");
+      }
+      gapped = true;
+      ++report.records_dropped;
+      continue;
+    }
+    events.push_back(rec.event);
+    report.last_lsn = rec.lsn;
+    ++expect;
+  }
+
+  // ---- Synthetic initializer: make the history self-contained. ----
+  // The WAL prefix executed against a store preloaded from the
+  // snapshot, so its logged `seen` values presuppose that state. A
+  // synthetic committed top-level transaction writing each snapshot
+  // value first turns the history into a valid computation from
+  // all-zero initial values — which is what ReplayTrace and the
+  // Theorem 9 checker assume.
+  TxnId max_id = 0;
+  for (const txn::TraceEvent& e : events) max_id = std::max(max_id, e.id);
+  txn::Trace& history = report.history;
+  if (!snap.store.empty()) {
+    TxnId init = max_id + 1;
+    TxnId next = init + 1;
+    history.events.push_back(
+        {txn::TraceEvent::Kind::kBegin, init, kNoTxn, 0, {}, 0});
+    for (const auto& [x, v] : snap.store) {
+      history.events.push_back({txn::TraceEvent::Kind::kPerform, next++,
+                                init, x, action::Update::Write(v), 0});
+    }
+    history.events.push_back(
+        {txn::TraceEvent::Kind::kCommit, init, kNoTxn, 0, {}, 0});
+  }
+  history.events.insert(history.events.end(), events.begin(), events.end());
+
+  // ---- Analysis + redo (one pass: the log is logical, each event
+  // carries everything both phases need). ----
+  std::map<TxnId, RedoTxn> txns;
+  auto visible = [&](TxnId t, ObjectId x) -> Value {
+    for (TxnId c = t; c != kNoTxn;) {
+      auto it = txns.find(c);
+      if (it == txns.end()) break;
+      auto v = it->second.buffer.find(x);
+      if (v != it->second.buffer.end()) return v->second;
+      c = it->second.parent;
+    }
+    auto sit = report.store.find(x);
+    return sit == report.store.end() ? action::kInitValue : sit->second;
+  };
+  for (const txn::TraceEvent& e : events) {
+    ++report.redone_events;
+    switch (e.kind) {
+      case txn::TraceEvent::Kind::kBegin: {
+        RedoTxn t;
+        t.parent = e.parent;
+        txns.emplace(e.id, std::move(t));
+        break;
+      }
+      case txn::TraceEvent::Kind::kPerform: {
+        auto it = txns.find(e.parent);
+        if (it == txns.end()) {
+          return Status::DataLoss(
+              "WAL: access record for unknown transaction " +
+              std::to_string(e.parent));
+        }
+        const Value seen = visible(e.parent, e.object);
+        if (seen != e.seen) {
+          return Status::DataLoss(
+              "WAL: semantic corruption — access " + std::to_string(e.id) +
+              " on object " + std::to_string(e.object) + " logged seen=" +
+              std::to_string(e.seen) + " but redo derives " +
+              std::to_string(seen));
+        }
+        if (!e.update.IsRead()) {
+          it->second.buffer[e.object] = e.update.Apply(seen);
+        }
+        break;
+      }
+      case txn::TraceEvent::Kind::kCommit: {
+        auto it = txns.find(e.id);
+        if (it == txns.end()) {
+          return Status::DataLoss("WAL: commit of unknown transaction " +
+                                  std::to_string(e.id));
+        }
+        RedoTxn& t = it->second;
+        if (t.parent == kNoTxn) {
+          for (const auto& [x, v] : t.buffer) report.store[x] = v;
+          ++report.committed_top;
+        } else {
+          auto pit = txns.find(t.parent);
+          if (pit == txns.end()) {
+            return Status::DataLoss(
+                "WAL: commit into unknown parent transaction " +
+                std::to_string(t.parent));
+          }
+          for (const auto& [x, v] : t.buffer) pit->second.buffer[x] = v;
+        }
+        t.buffer.clear();
+        t.state = RedoTxn::State::kCommitted;
+        break;
+      }
+      case txn::TraceEvent::Kind::kAbort: {
+        auto it = txns.find(e.id);
+        if (it == txns.end()) {
+          return Status::DataLoss("WAL: abort of unknown transaction " +
+                                  std::to_string(e.id));
+        }
+        it->second.buffer.clear();
+        it->second.state = RedoTxn::State::kAborted;
+        break;
+      }
+    }
+  }
+
+  if (options.after_redo) options.after_redo();
+
+  // ---- Undo: roll back in-flight subtransaction trees. ----
+  // Descending id is children-first (a child's id is always larger than
+  // its parent's), so the synthetic aborts replay exactly like the
+  // engine's cascade: one abort event per vertex, leaves upward.
+  std::vector<TxnId> live;
+  for (const auto& [id, t] : txns) {
+    if (t.state == RedoTxn::State::kActive) live.push_back(id);
+  }
+  std::sort(live.rbegin(), live.rend());
+  for (TxnId id : live) {
+    RedoTxn& t = txns.at(id);
+    t.buffer.clear();  // discard private versions — nothing reaches the
+                       // store, which is the whole point of undo
+    t.state = RedoTxn::State::kAborted;
+    history.events.push_back(
+        {txn::TraceEvent::Kind::kAbort, id, t.parent, 0, {}, 0});
+    ++report.undone_txns;
+  }
+
+  return report;
+}
+
+}  // namespace rnt::storage

@@ -1,0 +1,74 @@
+#ifndef RNT_STORAGE_RECOVERY_H_
+#define RNT_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/trace.h"
+
+namespace rnt::storage {
+
+struct RecoveryOptions {
+  /// Storage directory (snapshot + per-worker WAL files).
+  std::string dir;
+  /// Test hook: invoked between the redo and undo phases — the kill
+  /// point for the recovery-idempotence tests. Never set in production.
+  std::function<void()> after_redo;
+};
+
+/// The outcome of one restart recovery.
+struct RecoveryReport {
+  /// The recovered execution as a trace: a synthetic initializer
+  /// transaction installing the snapshot's store (so the history is
+  /// self-contained and replays from all-zero initial values), the
+  /// durable WAL prefix in LSN order, then one synthetic abort per
+  /// in-flight transaction (children first). Feeding this through
+  /// txn::ReplayTrace + the Theorem 9 checker certifies the recovered
+  /// state, exactly as for a live run.
+  txn::Trace history;
+  /// The committed top-level store after redo + undo.
+  std::map<ObjectId, Value> store;
+  /// Durable horizon: largest LSN whose record survived validation and
+  /// gap truncation (== snapshot last_lsn when the WAL was empty).
+  std::uint64_t last_lsn = 0;
+  bool snapshot_loaded = false;
+
+  std::uint64_t records_scanned = 0;   // CRC-valid records read
+  std::uint64_t records_stale = 0;     // lsn <= snapshot horizon, skipped
+  std::uint64_t records_dropped = 0;   // past the first LSN gap, dropped
+  std::uint64_t torn_tails = 0;        // files ending mid-record
+  std::uint64_t redone_events = 0;     // events replayed in redo
+  std::uint64_t committed_top = 0;     // top-level commits made durable
+  std::uint64_t undone_txns = 0;       // in-flight txns rolled back
+};
+
+/// ARIES-style restart recovery, specialized to the nested-transaction
+/// log (logical, not page-based — the log records *are* trace events):
+///
+///  1. analysis — scan the durable prefix, building the transaction
+///     table (who begun/committed/aborted, the tree shape);
+///  2. redo — replay every event through a nested value-map (private
+///     buffer per transaction, commit merges child into parent or into
+///     the store), re-deriving each access's visible value and checking
+///     it against the logged one;
+///  3. undo — roll back transactions still in flight at the crash, as
+///     synthetic abort events in descending-id (children-first) order,
+///     mirroring the engine's cascade.
+///
+/// Recover is strictly read-only on `dir` — re-running it is trivially
+/// idempotent; all mutation (fresh snapshot, WAL reset) belongs to
+/// DurableEngine::Open, whose write sequence is itself crash-idempotent
+/// (see Snapshot::last_lsn).
+///
+/// Errors: kDataLoss for mid-log corruption (CRC, structure, or a
+/// semantic mismatch between a logged `seen` value and the replayed
+/// one); torn tails and LSN gaps are tolerated by construction.
+StatusOr<RecoveryReport> Recover(const RecoveryOptions& options);
+
+}  // namespace rnt::storage
+
+#endif  // RNT_STORAGE_RECOVERY_H_

@@ -1,0 +1,113 @@
+#include "storage/retention_log.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "storage/crc32.h"
+#include "storage/file_io.h"
+#include "storage/wal_format.h"
+
+namespace rnt::storage {
+
+namespace {
+
+constexpr char kRetMagic[8] = {'R', 'N', 'T', 'R', 'E', 'T', '0', '1'};
+constexpr std::size_t kRetMagicSize = 8;
+constexpr std::size_t kRetPayloadSize = 5;  // action u32 + status u8
+
+}  // namespace
+
+std::string RetentionLog::FileName(NodeId node) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "retained-%03u.log", node);
+  return buf;
+}
+
+StatusOr<std::unique_ptr<RetentionLog>> RetentionLog::Open(
+    const std::string& dir, NodeId node) {
+  return Open(dir, node, Options());
+}
+
+StatusOr<std::unique_ptr<RetentionLog>> RetentionLog::Open(
+    const std::string& dir, NodeId node, Options options) {
+  const std::string path = dir + "/" + FileName(node);
+  const bool fresh = !FileExists(path);
+  RNT_ASSIGN_OR_RETURN(int fd, OpenForAppend(path, /*truncate=*/false));
+  if (fresh) {
+    Status s = WriteAll(fd, kRetMagic, kRetMagicSize, path);
+    if (s.ok() && options.fsync) s = SyncData(fd, path);
+    if (!s.ok()) {
+      (void)::close(fd);
+      return s;
+    }
+  }
+  return std::unique_ptr<RetentionLog>(
+      new RetentionLog(path, fd, options));
+}
+
+RetentionLog::~RetentionLog() {
+  MutexLock lk(mu_);
+  if (fd_ >= 0) (void)::close(fd_);
+}
+
+Status RetentionLog::Append(ActionId action, action::ActionStatus status) {
+  std::string payload;
+  payload.reserve(kRetPayloadSize);
+  PutU32(payload, action);
+  payload.push_back(static_cast<char>(status));
+  std::string rec;
+  PutU32(rec, Crc32(payload.data(), payload.size()));
+  PutU32(rec, static_cast<std::uint32_t>(payload.size()));
+  rec.append(payload);
+  MutexLock lk(mu_);
+  RNT_RETURN_IF_ERROR(WriteAll(fd_, rec.data(), rec.size(), path_));
+  if (options_.fsync) RNT_RETURN_IF_ERROR(SyncData(fd_, path_));
+  return Status::Ok();
+}
+
+StatusOr<dist::ActionSummary> RetentionLog::Load(const std::string& dir,
+                                                 NodeId node) {
+  const std::string path = dir + "/" + FileName(node);
+  RNT_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  dist::ActionSummary summary;
+  if (bytes.size() < kRetMagicSize) return summary;  // torn at birth
+  if (std::memcmp(bytes.data(), kRetMagic, kRetMagicSize) != 0) {
+    return Status::DataLoss("retention log '" + path + "': bad magic");
+  }
+  const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
+  std::size_t off = kRetMagicSize;
+  while (off < bytes.size()) {
+    const std::size_t remaining = bytes.size() - off;
+    if (remaining < kWalHeaderSize) break;  // torn tail
+    const std::uint32_t crc = GetU32(base + off);
+    const std::uint32_t payload_size = GetU32(base + off + 4);
+    if (payload_size != kRetPayloadSize) {
+      if (remaining < kWalHeaderSize + kRetPayloadSize) break;  // torn
+      return Status::DataLoss("retention log '" + path +
+                              "': corrupt record header at offset " +
+                              std::to_string(off));
+    }
+    if (remaining < kWalHeaderSize + payload_size) break;  // torn tail
+    const unsigned char* payload = base + off + kWalHeaderSize;
+    if (Crc32(payload, payload_size) != crc) {
+      return Status::DataLoss("retention log '" + path +
+                              "': CRC mismatch at offset " +
+                              std::to_string(off));
+    }
+    const ActionId action = GetU32(payload);
+    const auto status = static_cast<action::ActionStatus>(payload[4]);
+    // Monotone merge: knowledge only ever upgrades (M_i monotonicity).
+    if (!summary.Contains(action)) {
+      summary.AddActive(action);
+    }
+    if (status != action::ActionStatus::kActive) {
+      summary.SetStatus(action, status);
+    }
+    off += kWalHeaderSize + payload_size;
+  }
+  return summary;
+}
+
+}  // namespace rnt::storage

@@ -1,0 +1,76 @@
+#ifndef RNT_STORAGE_RETENTION_LOG_H_
+#define RNT_STORAGE_RETENTION_LOG_H_
+
+#include <memory>
+#include <string>
+
+#include "action/action_tree.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/types.h"
+#include "dist/summary.h"
+
+namespace rnt::storage {
+
+/// Durable backing for a node's retention buffer M_i (paper §9.1).
+///
+/// The parallel ℬ runtime retains (action, status) knowledge in
+/// ConcurrentMailbox::Retain before acting on it — the WAL discipline
+/// that makes simulated crash/rebirth sound. This log extends that
+/// discipline to real process death: every Retain is also appended
+/// here, so after kill -9 the node's M_i is rebuilt from disk and
+/// rebirth replays it as the paper's one legal Receive.
+///
+/// M_i monotonicity makes the format trivial: entries only ever *add*
+/// knowledge (a status may upgrade active → committed/aborted, never
+/// regress), so an append-only record stream replayed in order — with
+/// upgrades-only merge — reconstructs exactly the retained summary, and
+/// a torn tail loses only knowledge the node never acted on.
+///
+/// Record: crc32 (u32, over payload) · size (u32) · payload
+/// Payload: action u32 · status u8.
+class RetentionLog {
+ public:
+  struct Options {
+    /// fdatasync every append. Default off: page-cache durability
+    /// survives process kill (the fault model here); the paper's node
+    /// is "resilient" against component crash, not media loss.
+    bool fsync = false;
+  };
+
+  /// Opens (creating or appending to) the node's retention file.
+  static StatusOr<std::unique_ptr<RetentionLog>> Open(
+      const std::string& dir, NodeId node, Options options);
+  static StatusOr<std::unique_ptr<RetentionLog>> Open(const std::string& dir,
+                                                      NodeId node);
+  ~RetentionLog();
+
+  RetentionLog(const RetentionLog&) = delete;
+  RetentionLog& operator=(const RetentionLog&) = delete;
+
+  /// Appends one retained fact. Thread-safe (the runner's delivery and
+  /// self-send paths both retain).
+  Status Append(ActionId action, action::ActionStatus status);
+
+  /// Replays a node's retention file into a summary. Torn tails are
+  /// discarded (unacknowledged knowledge); CRC damage inside the log is
+  /// kDataLoss. kNotFound if the node never persisted anything.
+  static StatusOr<dist::ActionSummary> Load(const std::string& dir,
+                                            NodeId node);
+
+  static std::string FileName(NodeId node);
+
+ private:
+  RetentionLog(std::string path, int fd, Options options)
+      : path_(std::move(path)), options_(options), fd_(fd) {}
+
+  const std::string path_;
+  const Options options_;
+  Mutex mu_;
+  int fd_ GUARDED_BY(mu_) = -1;
+};
+
+}  // namespace rnt::storage
+
+#endif  // RNT_STORAGE_RETENTION_LOG_H_

@@ -1,0 +1,87 @@
+#include "storage/snapshot.h"
+
+#include <cstring>
+
+#include <unistd.h>
+
+#include "storage/crc32.h"
+#include "storage/file_io.h"
+#include "storage/wal_format.h"
+
+namespace rnt::storage {
+
+namespace {
+
+constexpr char kSnapMagic[8] = {'R', 'N', 'T', 'S', 'N', 'A', 'P', '1'};
+constexpr std::size_t kSnapMagicSize = 8;
+
+}  // namespace
+
+Status WriteSnapshot(const std::string& dir, const Snapshot& snap) {
+  std::string payload;
+  PutU64(payload, snap.last_lsn);
+  PutU64(payload, snap.store.size());
+  for (const auto& [x, v] : snap.store) {
+    PutU32(payload, x);
+    PutU64(payload, static_cast<std::uint64_t>(v));
+  }
+  std::string bytes(kSnapMagic, kSnapMagicSize);
+  PutU32(bytes, Crc32(payload.data(), payload.size()));
+  PutU64(bytes, payload.size());
+  bytes.append(payload);
+
+  const std::string tmp = dir + "/" + SnapshotFileName() + ".tmp";
+  const std::string final_path = dir + "/" + SnapshotFileName();
+  RNT_ASSIGN_OR_RETURN(int fd, OpenForAppend(tmp, /*truncate=*/true));
+  Status write_status = WriteAll(fd, bytes.data(), bytes.size(), tmp);
+  if (write_status.ok()) write_status = SyncData(fd, tmp);
+  if (::close(fd) != 0 && write_status.ok()) {
+    write_status = Status::Internal("close failed for '" + tmp + "'");
+  }
+  RNT_RETURN_IF_ERROR(write_status);
+  RNT_RETURN_IF_ERROR(RenameFile(tmp, final_path));
+  return SyncDir(dir);
+}
+
+StatusOr<Snapshot> ReadSnapshot(const std::string& dir) {
+  const std::string path = dir + "/" + SnapshotFileName();
+  RNT_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  const std::size_t header = kSnapMagicSize + /*crc*/ 4 + /*size*/ 8;
+  if (bytes.size() < header ||
+      std::memcmp(bytes.data(), kSnapMagic, kSnapMagicSize) != 0) {
+    return Status::DataLoss("snapshot '" + path +
+                            "': bad magic or truncated header");
+  }
+  const auto* base = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::uint32_t crc = GetU32(base + kSnapMagicSize);
+  const std::uint64_t payload_size = GetU64(base + kSnapMagicSize + 4);
+  if (bytes.size() != header + payload_size) {
+    return Status::DataLoss("snapshot '" + path + "': size mismatch (" +
+                            std::to_string(bytes.size()) + " bytes, payload " +
+                            std::to_string(payload_size) + ")");
+  }
+  const unsigned char* payload = base + header;
+  const std::uint32_t actual = Crc32(payload, payload_size);
+  if (actual != crc) {
+    return Status::DataLoss("snapshot '" + path + "': CRC mismatch (stored " +
+                            std::to_string(crc) + ", computed " +
+                            std::to_string(actual) + ")");
+  }
+  if (payload_size < 16) {
+    return Status::DataLoss("snapshot '" + path + "': payload too small");
+  }
+  Snapshot snap;
+  snap.last_lsn = GetU64(payload);
+  const std::uint64_t count = GetU64(payload + 8);
+  if (payload_size != 16 + count * 12) {
+    return Status::DataLoss("snapshot '" + path +
+                            "': entry count inconsistent with payload size");
+  }
+  const unsigned char* p = payload + 16;
+  for (std::uint64_t i = 0; i < count; ++i, p += 12) {
+    snap.store[GetU32(p)] = static_cast<Value>(GetU64(p + 4));
+  }
+  return snap;
+}
+
+}  // namespace rnt::storage

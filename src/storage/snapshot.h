@@ -1,0 +1,46 @@
+#ifndef RNT_STORAGE_SNAPSHOT_H_
+#define RNT_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace rnt::storage {
+
+/// A durable checkpoint of the committed top-level store — the paper's
+/// M_i made persistent: the monotone durable knowledge a node keeps
+/// across total failure (§9.1). `last_lsn` is the WAL horizon the
+/// snapshot covers: every logged effect with lsn <= last_lsn is already
+/// folded into `store`, so recovery replays only records past it (and
+/// skips stale WAL records below it, which makes the checkpoint write →
+/// WAL reset sequence idempotent under a crash at any point between the
+/// two).
+///
+/// The d21 lock state needs no separate section here: snapshots are
+/// taken quiescent (no live transaction holds a lock), and for a
+/// crashed run the lock table is exactly reconstructible from the WAL
+/// prefix — each kPerform record is a lock acquisition, each
+/// kCommit/kAbort the corresponding inheritance/release — which is how
+/// recovery re-derives and then rolls back in-flight holders.
+struct Snapshot {
+  std::uint64_t last_lsn = 0;
+  std::map<ObjectId, Value> store;
+};
+
+/// Writes atomically: temp file + fsync + rename + directory fsync.
+/// A reader never observes a partial snapshot, only the old or the new.
+Status WriteSnapshot(const std::string& dir, const Snapshot& snap);
+
+/// Reads the current snapshot. kNotFound when none exists (fresh
+/// directory); kDataLoss on checksum/structure damage — rename
+/// atomicity means a broken snapshot can never be a torn write.
+StatusOr<Snapshot> ReadSnapshot(const std::string& dir);
+
+inline std::string SnapshotFileName() { return "snapshot"; }
+
+}  // namespace rnt::storage
+
+#endif  // RNT_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,214 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <utility>
+
+#include <unistd.h>
+
+#include "storage/crc32.h"
+#include "storage/file_io.h"
+
+namespace rnt::storage {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+constexpr auto kAcquire = std::memory_order_acquire;
+constexpr auto kRelease = std::memory_order_release;
+}  // namespace
+
+Wal::Wal(WalOptions options)
+    : options_(std::move(options)),
+      next_lsn_(options_.first_lsn),
+      durable_lsn_(options_.first_lsn - 1) {}
+
+StatusOr<std::unique_ptr<Wal>> Wal::Open(WalOptions options) {
+  if (options.workers == 0) {
+    return Status::InvalidArgument("WalOptions::workers must be >= 1");
+  }
+  if (options.first_lsn == 0) {
+    return Status::InvalidArgument("WalOptions::first_lsn must be >= 1");
+  }
+  std::unique_ptr<Wal> wal(new Wal(std::move(options)));
+  for (std::uint32_t w = 0; w < wal->options_.workers; ++w) {
+    auto slot = std::make_unique<Slot>();
+    slot->path = wal->options_.dir + "/" + WalFileName(w);
+    RNT_ASSIGN_OR_RETURN(slot->fd,
+                         OpenForAppend(slot->path, /*truncate=*/true));
+    RNT_RETURN_IF_ERROR(
+        WriteAll(slot->fd, kWalMagic, kWalMagicSize, slot->path));
+    wal->slots_.push_back(std::move(slot));
+  }
+  // Make the (possibly fresh) files' directory entries durable before
+  // any record is acknowledged through them.
+  if (wal->options_.fsync) RNT_RETURN_IF_ERROR(SyncDir(wal->options_.dir));
+  wal->gc_thread_ = std::thread([w = wal.get()] { w->GroupCommitLoop(); });
+  return wal;
+}
+
+Wal::~Wal() {
+  {
+    MutexLock lk(gc_mu_);
+    stop_ = true;
+    gc_cv_.NotifyAll();
+  }
+  if (gc_thread_.joinable()) gc_thread_.join();
+  // Final best-effort flush so a clean shutdown loses nothing even if
+  // no barrier was issued.
+  (void)FlushOnce();
+  for (auto& slot : slots_) {
+    if (slot->fd >= 0) (void)::close(slot->fd);
+  }
+}
+
+Wal::Slot& Wal::SlotForThisThread() {
+  // Round-robin thread -> slot binding, fixed at a thread's first
+  // append. (The counter is process-wide across Wal instances; only the
+  // modulus matters.)
+  thread_local std::size_t assigned = slot_rr_.fetch_add(1, kRelaxed);
+  return *slots_[assigned % slots_.size()];
+}
+
+void Wal::Append(const txn::TraceEvent& event) {
+  Slot& slot = SlotForThisThread();
+  bool kick = false;
+  {
+    MutexLock lk(slot.mu);
+    // LSN allocation under the slot mutex: allocation and push are
+    // atomic per slot, which the durable-horizon computation in
+    // FlushOnce depends on (see wal.h).
+    WalRecord rec{next_lsn_.fetch_add(1, kRelaxed), event};
+    slot.pending.push_back(rec);
+    kick = slot.pending.size() >= options_.batch_records;
+  }
+  appended_.fetch_add(1, kRelaxed);
+  if (kick) {
+    MutexLock lk(gc_mu_);
+    flush_requested_ = true;
+    gc_cv_.NotifyAll();
+  }
+}
+
+Status Wal::BarrierAll() {
+  // Everything allocated before the call must become durable. The load
+  // may over-approximate (include a concurrent append); that only makes
+  // the barrier stronger.
+  const std::uint64_t target = next_lsn_.load(kAcquire) - 1;
+  MutexLock lk(gc_mu_);
+  while (durable_lsn_.load(kAcquire) < target && io_error_.ok()) {
+    flush_requested_ = true;
+    gc_cv_.NotifyAll();
+    durable_cv_.WaitUntil(gc_mu_, std::chrono::steady_clock::now() +
+                                      options_.group_commit_interval);
+  }
+  return io_error_;
+}
+
+void Wal::GroupCommitLoop() {
+  for (;;) {
+    {
+      MutexLock lk(gc_mu_);
+      if (!stop_ && !flush_requested_) {
+        gc_cv_.WaitUntil(gc_mu_, std::chrono::steady_clock::now() +
+                                     options_.group_commit_interval);
+      }
+      if (stop_) return;  // destructor runs the final flush
+      flush_requested_ = false;
+    }
+    Status s = FlushOnce();
+    if (!s.ok()) {
+      MutexLock lk(gc_mu_);
+      if (io_error_.ok()) io_error_ = s;
+      durable_cv_.NotifyAll();
+      return;  // a failed WAL must not acknowledge anything further
+    }
+  }
+}
+
+Status Wal::FlushOnce() {
+  MutexLock flush_lk(flush_mu_);
+  // Phase 1: collect every slot's pending batch (short critical
+  // sections; appenders keep running).
+  std::vector<std::vector<WalRecord>> batches(slots_.size());
+  std::uint64_t round_records = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    Slot& slot = *slots_[i];
+    MutexLock lk(slot.mu);
+    batches[i] = std::move(slot.pending);
+    slot.pending.clear();
+    round_records += batches[i].size();
+  }
+  // Phase 2: encode + write + fsync per worker file.
+  std::string buf;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (batches[i].empty()) continue;
+    Slot& slot = *slots_[i];
+    buf.clear();
+    for (const WalRecord& rec : batches[i]) {
+      std::string payload;
+      payload.reserve(kWalPayloadSize);
+      EncodeWalPayload(payload, rec);
+      PutU32(buf, Crc32(payload.data(), payload.size()));
+      PutU32(buf, static_cast<std::uint32_t>(payload.size()));
+      buf.append(payload);
+    }
+    RNT_RETURN_IF_ERROR(WriteAll(slot.fd, buf.data(), buf.size(), slot.path));
+    if (options_.fsync) RNT_RETURN_IF_ERROR(SyncData(slot.fd, slot.path));
+  }
+  // Phase 3: advance the durable horizon (see wal.h for the proof that
+  // this re-lock pass is safe against concurrent appends).
+  std::uint64_t min_undurable = next_lsn_.load(kAcquire);
+  for (auto& slot_ptr : slots_) {
+    Slot& slot = *slot_ptr;
+    MutexLock lk(slot.mu);
+    const std::uint64_t contribution = slot.pending.empty()
+                                           ? next_lsn_.load(kAcquire)
+                                           : slot.pending.front().lsn;
+    min_undurable = std::min(min_undurable, contribution);
+  }
+  const std::uint64_t horizon = min_undurable - 1;
+  if (horizon > durable_lsn_.load(kAcquire)) {
+    durable_lsn_.store(horizon, kRelease);
+  }
+  {
+    MutexLock lk(gc_mu_);
+    if (round_records > 0) {
+      ++stats_.batches;
+      stats_.synced_records += round_records;
+      stats_.max_batch = std::max(stats_.max_batch, round_records);
+    }
+    durable_cv_.NotifyAll();
+  }
+  return Status::Ok();
+}
+
+Status Wal::Reset() {
+  // Quiescent contract: no engine thread is appending. Still serialize
+  // against a group-commit round in flight.
+  MutexLock flush_lk(flush_mu_);
+  for (auto& slot_ptr : slots_) {
+    Slot& slot = *slot_ptr;
+    MutexLock lk(slot.mu);
+    if (!slot.pending.empty()) {
+      return Status::IllegalState(
+          "Wal::Reset with pending records (caller must BarrierAll "
+          "while quiescent first)");
+    }
+    if (::ftruncate(slot.fd, 0) != 0) {
+      return Status::Internal("ftruncate failed for '" + slot.path + "'");
+    }
+    RNT_RETURN_IF_ERROR(
+        WriteAll(slot.fd, kWalMagic, kWalMagicSize, slot.path));
+    if (options_.fsync) RNT_RETURN_IF_ERROR(SyncData(slot.fd, slot.path));
+  }
+  durable_lsn_.store(next_lsn_.load(kAcquire) - 1, kRelease);
+  return Status::Ok();
+}
+
+Wal::Stats Wal::stats() const {
+  MutexLock lk(gc_mu_);
+  Stats s = stats_;
+  s.appended = appended_.load(kRelaxed);
+  return s;
+}
+
+}  // namespace rnt::storage

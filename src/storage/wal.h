@@ -1,0 +1,141 @@
+#ifndef RNT_STORAGE_WAL_H_
+#define RNT_STORAGE_WAL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "storage/wal_format.h"
+#include "txn/trace.h"
+
+namespace rnt::storage {
+
+struct WalOptions {
+  /// Directory holding the per-worker files (must exist).
+  std::string dir;
+  /// Number of worker log files / append slots. Appending threads are
+  /// assigned to slots round-robin, so contention on one slot mutex is
+  /// bounded regardless of engine thread count.
+  std::uint32_t workers = 4;
+  /// How long the group-commit thread sleeps between batches when no
+  /// one forces a flush.
+  std::chrono::milliseconds group_commit_interval{2};
+  /// Pending-record count on one slot that kicks an early group commit.
+  std::size_t batch_records = 256;
+  /// fdatasync each batch (off = page-cache durability only: survives a
+  /// process kill but not an OS crash — exactly what the kill -9 tests
+  /// and benchmarks need without paying for the device flush).
+  bool fsync = true;
+  /// First LSN to allocate — recovery passes its durable horizon + 1 so
+  /// LSNs stay monotone across process incarnations.
+  std::uint64_t first_lsn = 1;
+};
+
+/// Per-worker write-ahead log with group commit (the leanstore shape:
+/// worker-local append buffers, one log file per worker, a group-commit
+/// thread that drains every buffer, writes, fsyncs, and then advances
+/// the durable horizon).
+///
+/// As a txn::TraceSink, Append is called inside the engine's
+/// serializing critical sections; it only allocates the record's LSN
+/// and pushes it onto the appending thread's slot buffer (no I/O).
+/// LSN allocation happens *under the slot mutex*, which is the linchpin
+/// of the horizon computation: after flushing, the group-commit thread
+/// re-locks each slot and takes
+///
+///   H = min over slots of (oldest pending LSN, or the LSN counter if
+///       the slot is empty) − 1.
+///
+/// Any record with LSN <= H was either flushed in this or an earlier
+/// batch, or it would still be pending in the slot it was pushed to —
+/// allocation+push are atomic per slot, so an unobserved record's LSN
+/// is provably > the slot's contribution. H therefore only ever names
+/// durable prefixes, and commit acknowledgement (BarrierAll) waits for
+/// H to pass the caller's last LSN: the precommitted queue of the
+/// group-commit design, expressed as a condition wait.
+class Wal final : public txn::TraceSink {
+ public:
+  /// Creates/truncates the worker files and starts the group-commit
+  /// thread.
+  static StatusOr<std::unique_ptr<Wal>> Open(WalOptions options);
+  ~Wal() override;
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// txn::TraceSink: buffer one record (no syscalls; engine mutexes are
+  /// held by the caller).
+  void Append(const txn::TraceEvent& event) override;
+
+  /// Blocks until every record appended before this call is durable
+  /// (group-commit acknowledgement). Returns the sticky I/O error, if
+  /// any — after a write/fsync failure the WAL stops acknowledging.
+  Status BarrierAll();
+
+  /// Truncates all worker files back to bare headers (quiescent callers
+  /// only — the checkpoint path, after the store snapshot is on disk).
+  /// The LSN counter keeps running; durability restarts from here.
+  Status Reset();
+
+  /// Next LSN to be allocated (== 1 + the largest allocated so far).
+  std::uint64_t next_lsn() const {
+    return next_lsn_.load(std::memory_order_acquire);
+  }
+  /// The durable horizon H: every record with lsn <= H is on disk.
+  std::uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    std::uint64_t appended = 0;       // records appended
+    std::uint64_t batches = 0;        // group-commit rounds that wrote
+    std::uint64_t synced_records = 0; // records made durable
+    std::uint64_t max_batch = 0;      // largest single round
+  };
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    mutable Mutex mu;
+    std::vector<WalRecord> pending GUARDED_BY(mu);
+    int fd = -1;           // owned; append-only
+    std::string path;
+  };
+
+  explicit Wal(WalOptions options);
+
+  Slot& SlotForThisThread();
+  void GroupCommitLoop();
+  /// One collect → write → fsync → advance-horizon round.
+  Status FlushOnce();
+
+  WalOptions options_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::atomic<std::uint64_t> next_lsn_;
+  std::atomic<std::uint64_t> durable_lsn_;
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::size_t> slot_rr_{0};
+
+  mutable Mutex gc_mu_;
+  CondVar gc_cv_;                    // wakes the group-commit thread
+  CondVar durable_cv_;                 // wakes barrier waiters
+  bool stop_ GUARDED_BY(gc_mu_) = false;
+  bool flush_requested_ GUARDED_BY(gc_mu_) = false;
+  Status io_error_ GUARDED_BY(gc_mu_);
+  Stats stats_ GUARDED_BY(gc_mu_);
+  /// Serializes FlushOnce against Reset (file offsets are shared).
+  Mutex flush_mu_;
+
+  std::thread gc_thread_;
+};
+
+}  // namespace rnt::storage
+
+#endif  // RNT_STORAGE_WAL_H_

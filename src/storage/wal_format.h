@@ -1,0 +1,112 @@
+#ifndef RNT_STORAGE_WAL_FORMAT_H_
+#define RNT_STORAGE_WAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/types.h"
+#include "txn/trace.h"
+
+namespace rnt::storage {
+
+/// On-disk WAL record format, shared by the writer (wal.cc) and the
+/// recovery reader (log_reader.cc).
+///
+/// File layout:   magic "RNTWAL01" (8 bytes) · record · record · ...
+/// Record layout: crc32 (u32, over the payload) · size (u32) · payload
+/// Payload:       lsn u64 · kind u8 · id u64 · parent u64 · object u32
+///                · update{kind u8, a u64, b u64} · seen u64
+///
+/// The payload mirrors txn::TraceEvent exactly, plus the LSN: the WAL
+/// *is* the engine trace, made durable. Recovery therefore rebuilds a
+/// txn::Trace directly and hands it to the same ReplayTrace / Theorem 9
+/// machinery that checks live executions — one formalism for both.
+///
+/// LSNs are allocated densely (a global counter) in the engine's
+/// serialization order, so the merged, LSN-sorted union of all
+/// per-worker files is the trace, and the first *gap* in the sequence
+/// marks the durable horizon: every record past a gap was never
+/// acknowledged (group commit only acknowledges a dense prefix) and is
+/// discarded by recovery.
+///
+/// All integers are little-endian, encoded explicitly byte-by-byte.
+
+inline constexpr char kWalMagic[8] = {'R', 'N', 'T', 'W',
+                                      'A', 'L', '0', '1'};
+inline constexpr std::size_t kWalMagicSize = 8;
+/// crc (4) + size (4).
+inline constexpr std::size_t kWalHeaderSize = 8;
+/// lsn 8 + kind 1 + id 8 + parent 8 + object 4 + ukind 1 + a 8 + b 8
+/// + seen 8.
+inline constexpr std::size_t kWalPayloadSize = 54;
+
+/// One decoded WAL record: the event plus its log sequence number.
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  txn::TraceEvent event;
+};
+
+inline void PutU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+inline void PutU64(std::string& out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+inline std::uint32_t GetU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+inline std::uint64_t GetU64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         static_cast<std::uint64_t>(GetU32(p + 4)) << 32;
+}
+
+/// Appends the payload bytes of one record to `out` (no header).
+inline void EncodeWalPayload(std::string& out, const WalRecord& rec) {
+  PutU64(out, rec.lsn);
+  out.push_back(static_cast<char>(rec.event.kind));
+  PutU64(out, rec.event.id);
+  PutU64(out, rec.event.parent);
+  PutU32(out, rec.event.object);
+  out.push_back(static_cast<char>(rec.event.update.kind));
+  PutU64(out, static_cast<std::uint64_t>(rec.event.update.a));
+  PutU64(out, static_cast<std::uint64_t>(rec.event.update.b));
+  PutU64(out, static_cast<std::uint64_t>(rec.event.seen));
+}
+
+/// Decodes one payload (exactly kWalPayloadSize bytes at `p`).
+inline WalRecord DecodeWalPayload(const unsigned char* p) {
+  WalRecord rec;
+  rec.lsn = GetU64(p);
+  rec.event.kind = static_cast<txn::TraceEvent::Kind>(p[8]);
+  rec.event.id = GetU64(p + 9);
+  rec.event.parent = GetU64(p + 17);
+  rec.event.object = GetU32(p + 25);
+  rec.event.update.kind = static_cast<action::Update::Kind>(p[29]);
+  rec.event.update.a = static_cast<Value>(GetU64(p + 30));
+  rec.event.update.b = static_cast<Value>(GetU64(p + 38));
+  rec.event.seen = static_cast<Value>(GetU64(p + 46));
+  return rec;
+}
+
+/// Per-worker WAL file name within a storage directory.
+inline std::string WalFileName(std::uint32_t worker) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%03u.log", worker);
+  return buf;
+}
+
+}  // namespace rnt::storage
+
+#endif  // RNT_STORAGE_WAL_FORMAT_H_

@@ -1,6 +1,8 @@
 #ifndef RNT_TXN_ENGINE_CORE_H_
 #define RNT_TXN_ENGINE_CORE_H_
 
+#include <map>
+
 #include "action/update.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -35,6 +37,13 @@ class EngineCore {
   virtual Value ReadCommitted(ObjectId x) = 0;
   virtual Trace TakeTrace() = 0;
   virtual TransactionManager::Stats stats() const = 0;
+
+  /// Seeds the committed store (quiescent engines only; see
+  /// TransactionManager::Preload).
+  virtual void Preload(const std::map<ObjectId, Value>& values) = 0;
+  /// Snapshot of the committed store (see
+  /// TransactionManager::DumpCommitted).
+  virtual std::map<ObjectId, Value> DumpCommitted() const = 0;
 };
 
 }  // namespace rnt::txn::internal

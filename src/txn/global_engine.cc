@@ -77,6 +77,21 @@ TransactionManager::Stats GlobalEngine::stats() const {
   return s;
 }
 
+void GlobalEngine::Preload(const std::map<ObjectId, Value>& values) {
+  MutexLock lk(mu_);
+  for (const auto& [x, v] : values) committed_[x] = v;
+}
+
+std::map<ObjectId, Value> GlobalEngine::DumpCommitted() const {
+  MutexLock lk(mu_);
+  return committed_;
+}
+
+void GlobalEngine::EmitLocked(TraceEvent event) {
+  if (options_.trace_sink != nullptr) options_.trace_sink->Append(event);
+  if (options_.record_trace) trace_.events.push_back(std::move(event));
+}
+
 StatusOr<TxnId> GlobalEngine::BeginLocked(TxnId parent) {
   if (parent != kNoTxn) {
     auto it = txns_.find(parent);
@@ -94,9 +109,8 @@ StatusOr<TxnId> GlobalEngine::BeginLocked(TxnId parent) {
     ++p.open_children;
   }
   ++stats_.begun;
-  if (options_.record_trace) {
-    trace_.events.push_back(
-        TraceEvent{TraceEvent::Kind::kBegin, id, parent, 0, {}, 0});
+  if (Logging()) {
+    EmitLocked(TraceEvent{TraceEvent::Kind::kBegin, id, parent, 0, {}, 0});
   }
   return id;
 }
@@ -213,10 +227,9 @@ StatusOr<Value> GlobalEngine::AccessLocked(TxnId t, ObjectId x,
     uncommitted_[x][t] = update.Apply(seen);
     txns_.at(t).written.insert(x);
   }
-  if (options_.record_trace) {
-    trace_.events.push_back(
-        TraceEvent{TraceEvent::Kind::kPerform, next_id_++, t, x, update,
-                   seen});
+  if (Logging()) {
+    EmitLocked(TraceEvent{TraceEvent::Kind::kPerform, next_id_++, t, x,
+                          update, seen});
   }
   return seen;
 }
@@ -254,9 +267,8 @@ Status GlobalEngine::CommitLocked(TxnId t) {
   info.state = TxnState::kCommitted;
   if (parent != kNoTxn) --txns_.at(parent).open_children;
   ++stats_.committed;
-  if (options_.record_trace) {
-    trace_.events.push_back(
-        TraceEvent{TraceEvent::Kind::kCommit, t, parent, 0, {}, 0});
+  if (Logging()) {
+    EmitLocked(TraceEvent{TraceEvent::Kind::kCommit, t, parent, 0, {}, 0});
   }
   if (parent == kNoTxn) {
     // Garbage-collect the completed top-level subtree: every descendant
@@ -301,9 +313,8 @@ Status GlobalEngine::AbortLocked(TxnId t, bool cascading) {
   if (info.parent != kNoTxn) --txns_.at(info.parent).open_children;
   ++stats_.aborted;
   if (cascading) ++stats_.cascade_aborts;
-  if (options_.record_trace) {
-    trace_.events.push_back(
-        TraceEvent{TraceEvent::Kind::kAbort, t, info.parent, 0, {}, 0});
+  if (Logging()) {
+    EmitLocked(TraceEvent{TraceEvent::Kind::kAbort, t, info.parent, 0, {}, 0});
   }
   if (info.parent == kNoTxn) {
     std::vector<TxnId> doomed{t};

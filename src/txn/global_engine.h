@@ -41,6 +41,8 @@ class GlobalEngine final : public EngineCore, private lock::Ancestry {
   Value ReadCommitted(ObjectId x) override;
   Trace TakeTrace() override;
   TransactionManager::Stats stats() const override;
+  void Preload(const std::map<ObjectId, Value>& values) override;
+  std::map<ObjectId, Value> DumpCommitted() const override;
 
  private:
   enum class TxnState : std::uint8_t { kActive, kCommitted, kAborted };
@@ -64,6 +66,14 @@ class GlobalEngine final : public EngineCore, private lock::Ancestry {
       REQUIRES(mu_);
 
   // All private methods below require mu_ held.
+  /// True when events must be materialized (trace or sink); gates
+  /// access-id allocation too, matching the sharded engine.
+  bool Logging() const {
+    return options_.record_trace || options_.trace_sink != nullptr;
+  }
+  /// Emits one event to the sink (still under mu_, the serializing
+  /// section) and/or the in-memory trace.
+  void EmitLocked(TraceEvent event) REQUIRES(mu_);
   StatusOr<lock::TxnId> BeginLocked(lock::TxnId parent) REQUIRES(mu_);
   Status CommitLocked(lock::TxnId t) REQUIRES(mu_);
   Status AbortLocked(lock::TxnId t, bool cascading) REQUIRES(mu_);

@@ -99,8 +99,30 @@ Value ShardedEngine::StoreRead(ObjectId x) const {
 }
 
 void ShardedEngine::AppendTrace(TraceEvent event) {
-  MutexLock lk(trace_mu_);
-  trace_.events.push_back(std::move(event));
+  // Sink before trace: the sink's ordering guarantee comes from the
+  // caller's critical section, not from trace_mu_.
+  if (options_.trace_sink != nullptr) options_.trace_sink->Append(event);
+  if (options_.record_trace) {
+    MutexLock lk(trace_mu_);
+    trace_.events.push_back(std::move(event));
+  }
+}
+
+void ShardedEngine::Preload(const std::map<ObjectId, Value>& values) {
+  for (const auto& [x, v] : values) {
+    StoreShard& shard = store_[ObjShard(x)];
+    MutexLock lk(shard.mu);
+    shard.values[x] = v;
+  }
+}
+
+std::map<ObjectId, Value> ShardedEngine::DumpCommitted() const {
+  std::map<ObjectId, Value> out;
+  for (const StoreShard& shard : store_) {
+    MutexLock lk(shard.mu);
+    for (const auto& [x, v] : shard.values) out.emplace(x, v);
+  }
+  return out;
 }
 
 Value ShardedEngine::ReadCommitted(ObjectId x) { return StoreRead(x); }
@@ -132,7 +154,7 @@ TxnId ShardedEngine::BeginTop() {
                                       nullptr);
   InsertRec(rec);
   begun_.fetch_add(1, kRelaxed);
-  if (options_.record_trace) {
+  if (Logging()) {
     AppendTrace(TraceEvent{TraceEvent::Kind::kBegin, id, kNoTxn, 0, {}, 0});
   }
   return id;
@@ -157,7 +179,7 @@ StatusOr<TxnId> ShardedEngine::BeginChild(TxnId parent) {
   p->children.push_back(rec.get());
   ++p->open_children;
   begun_.fetch_add(1, kRelaxed);
-  if (options_.record_trace) {
+  if (Logging()) {
     AppendTrace(
         TraceEvent{TraceEvent::Kind::kBegin, id, parent, 0, {}, 0});
   }
@@ -207,7 +229,7 @@ StatusOr<Value> ShardedEngine::RecordAccessChainLocked(
   }
   if (!found) seen = StoreRead(x);
   if (!update.IsRead()) rec->buffer[x] = update.Apply(seen);
-  if (options_.record_trace) {
+  if (Logging()) {
     AppendTrace(TraceEvent{TraceEvent::Kind::kPerform,
                            next_id_.fetch_add(1, kRelaxed), rec->id, x,
                            update, seen});
@@ -302,7 +324,7 @@ Status ShardedEngine::CommitChildLocked(TxnRec* rec, TxnRec* parent) {
   rec->buffer.clear();
   rec->state = TxnState::kCommitted;
   --parent->open_children;
-  if (options_.record_trace) {
+  if (Logging()) {
     AppendTrace(
         TraceEvent{TraceEvent::Kind::kCommit, rec->id, rec->parent, 0, {}, 0});
   }
@@ -320,7 +342,7 @@ Status ShardedEngine::CommitTopLocked(TxnRec* rec) {
   }
   rec->buffer.clear();
   rec->state = TxnState::kCommitted;
-  if (options_.record_trace) {
+  if (Logging()) {
     AppendTrace(
         TraceEvent{TraceEvent::Kind::kCommit, rec->id, kNoTxn, 0, {}, 0});
   }
@@ -406,7 +428,7 @@ bool ShardedEngine::AbortTree(TxnRec* rec, AbortCause cause) {
     MutexLock lk(rec->mu);
     rec->buffer.clear();  // (f21): discard private versions
     rec->state = TxnState::kAborted;
-    if (options_.record_trace) {
+    if (Logging()) {
       AppendTrace(TraceEvent{TraceEvent::Kind::kAbort, rec->id,
                              rec->parent, 0, {}, 0});
     }

@@ -67,6 +67,8 @@ class ShardedEngine final : public EngineCore, public lock::Ancestry {
   Value ReadCommitted(ObjectId x) override;
   Trace TakeTrace() override;
   TransactionManager::Stats stats() const override;
+  void Preload(const std::map<ObjectId, Value>& values) override;
+  std::map<ObjectId, Value> DumpCommitted() const override;
 
   // lock::Ancestry. Thread-safe: ancestor paths are immutable.
   bool IsAncestor(lock::TxnId anc, lock::TxnId desc) const override;
@@ -188,6 +190,14 @@ class ShardedEngine final : public EngineCore, public lock::Ancestry {
   bool ResolveDeadlockFrom(lock::TxnId start);
 
   Value StoreRead(ObjectId x) const;
+  /// True when events must be materialized at all (in-memory trace or
+  /// streaming sink) — gates both event construction and access-id
+  /// allocation so the two consumers always see identical ids.
+  bool Logging() const {
+    return options_.record_trace || options_.trace_sink != nullptr;
+  }
+  /// Emits one event: to the sink first (still inside the caller's
+  /// serializing critical section), then to the in-memory trace.
   void AppendTrace(TraceEvent event);
 
   TransactionManager::Options options_;

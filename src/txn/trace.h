@@ -59,6 +59,25 @@ struct Trace {
   FaultStats faults;
 };
 
+/// A streaming consumer of engine events. When installed via
+/// TransactionManager::Options::trace_sink, the engine calls Append
+/// *inside the critical section that serializes the event* — the same
+/// place the in-memory trace is appended — so the sink observes the
+/// engine's one true serialization order. This is what makes a
+/// write-ahead log built on the sink sound: a log record's position is
+/// fixed before any lock protecting the event is released, so no
+/// conflicting later event can be logged ahead of it.
+///
+/// Contract for implementations: Append must not call back into the
+/// engine (its mutexes are held) and must be cheap — an in-memory
+/// buffer push, not an I/O syscall (storage::Wal batches and fsyncs on
+/// a separate group-commit thread).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Append(const TraceEvent& event) = 0;
+};
+
 /// The action-tree reconstruction of a trace: a registry built from the
 /// observed transactions/accesses plus the replayed tree.
 struct ReplayedTrace {

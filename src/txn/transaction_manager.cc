@@ -36,6 +36,14 @@ Value TransactionManager::ReadCommitted(ObjectId x) {
 
 Trace TransactionManager::TakeTrace() { return impl_->TakeTrace(); }
 
+void TransactionManager::Preload(const std::map<ObjectId, Value>& values) {
+  impl_->Preload(values);
+}
+
+std::map<ObjectId, Value> TransactionManager::DumpCommitted() const {
+  return impl_->DumpCommitted();
+}
+
 TransactionManager::Stats TransactionManager::stats() const {
   return impl_->stats();
 }

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <memory>
 
 #include "action/update.h"
@@ -84,6 +85,12 @@ class TransactionManager final : public Engine {
     /// How often a blocked acquirer re-runs deadlock detection
     /// (kSharded only — the global engine re-checks on every broadcast).
     std::chrono::milliseconds deadlock_check_interval{5};
+    /// Optional streaming event consumer (non-owning; must outlive the
+    /// manager). Receives every trace event inside the engine's
+    /// serializing critical section, independently of record_trace —
+    /// the hook the durable storage layer's WAL hangs off (see
+    /// txn::TraceSink).
+    TraceSink* trace_sink = nullptr;
   };
 
   TransactionManager();
@@ -101,6 +108,15 @@ class TransactionManager final : public Engine {
   /// Moves the recorded trace out (thread-safe). Meaningful only with
   /// Options::record_trace.
   Trace TakeTrace();
+
+  /// Seeds the committed store before any transaction runs — how a
+  /// recovered snapshot re-enters the engine on restart. Call only on a
+  /// quiescent (freshly constructed) manager.
+  void Preload(const std::map<ObjectId, Value>& values);
+
+  /// Snapshot of the committed top-level store (objects ever written).
+  /// Consistent when the engine is quiescent; used by checkpoints.
+  std::map<ObjectId, Value> DumpCommitted() const;
 
   /// Engine counters, for tests and benchmark reporting.
   struct Stats {

@@ -1,0 +1,180 @@
+// The kill -9 harness: fork a concurrent nested-transaction workload
+// against the durable engine, SIGKILL it mid-stream, restart, recover —
+// ten times over one directory, compounding state. Every cycle must
+// leave committed (acked) work intact, roll every in-flight tree back,
+// and produce a recovered history the Theorem 9 checker accepts.
+//
+// Also here: the recovery-idempotence kills — SIGKILL *inside* the
+// crash-idempotent Open sequence (after the fresh snapshot, before the
+// WAL reset) and *between* the redo and undo phases of Recover; in both
+// cases a re-recovery must land on exactly the single-recovery state.
+#include <csignal>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "aat/aat.h"
+#include "sim/process_chaos.h"
+#include "storage/durable_engine.h"
+#include "storage/recovery.h"
+#include "temp_dir.h"
+#include "txn/trace.h"
+
+namespace rnt::sim {
+namespace {
+
+/// The full after-crash audit: the recovered history replays as a valid
+/// computation, passes the Theorem 9 (read/write) checker, and folding
+/// its permanent datasteps reproduces the recovered store value for
+/// value — the committed state is exactly what some serializable
+/// execution of the surviving transactions computes.
+void AuditRecovery(const storage::RecoveryReport& recovery, int cycle) {
+  auto replayed = txn::ReplayTrace(recovery.history);
+  ASSERT_TRUE(replayed.ok()) << replayed.status() << " (cycle " << cycle
+                             << ")";
+  EXPECT_TRUE(aat::IsPermDataSerializableRw(replayed->tree))
+      << "cycle " << cycle;
+  const action::ActionTree perm = replayed->tree.Perm();
+  for (const auto& [x, v] : recovery.store) {
+    Value folded = action::kInitValue;
+    for (ActionId step : perm.Datasteps(x)) {
+      folded = perm.registry().UpdateOf(step).Apply(folded);
+    }
+    EXPECT_EQ(folded, v) << "object " << x << " (cycle " << cycle << ")";
+  }
+}
+
+TEST(ProcessRecoveryTest, TenKillNineCyclesAllRecover) {
+  rnt::testing::TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  DurableWorkloadOptions opts;
+  opts.dir = dir.path();
+  opts.threads = 4;
+  // Far more ops than any crash trigger: the kill always preempts
+  // completion, at a different commit count (and engine state) per cycle.
+  opts.ops_per_thread = 100000;
+  constexpr int kCycles = 10;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    opts.seed = 101 + static_cast<std::uint64_t>(cycle);
+    opts.crash.after_ops = 20 + 13 * cycle;
+    auto report = RunKillRecoverCycle(opts);
+    ASSERT_TRUE(report.ok()) << report.status() << " (cycle " << cycle
+                             << ")";
+    ASSERT_TRUE(report->killed) << "cycle " << cycle;
+    // Durability: an ack is written only after the group-commit barrier,
+    // so every acked op's marker increment must have survived the kill.
+    ASSERT_EQ(report->acked.size(), static_cast<std::size_t>(opts.threads));
+    for (int t = 0; t < opts.threads; ++t) {
+      const ObjectId marker = opts.marker_base + static_cast<ObjectId>(t);
+      const auto it = report->recovery.store.find(marker);
+      const Value recovered = it == report->recovery.store.end() ? 0
+                                                                 : it->second;
+      EXPECT_GE(recovered,
+                static_cast<Value>(report->acked[static_cast<std::size_t>(t)]))
+          << "thread " << t << " lost acked commits (cycle " << cycle << ")";
+    }
+    // In-flight rollback: the harness's lingerer tree (parent + child,
+    // durably logged, never committed) must be rolled back every cycle;
+    // bystander workers caught mid-commit only add to the count.
+    EXPECT_GE(report->recovery.undone_txns, 2u) << "cycle " << cycle;
+    // The lingerer's writes must never reach the committed store.
+    EXPECT_EQ(report->recovery.store.count(opts.marker_base - 1), 0u);
+    EXPECT_EQ(report->recovery.store.count(opts.marker_base - 2), 0u);
+    AuditRecovery(report->recovery, cycle);
+  }
+}
+
+TEST(ProcessRecoveryTest, ControlCycleWithoutCrashRunsToCompletion) {
+  rnt::testing::TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  DurableWorkloadOptions opts;
+  opts.dir = dir.path();
+  opts.threads = 2;
+  opts.ops_per_thread = 25;
+  opts.seed = 7;
+  // crash disabled (after_ops < 0): the child exits 0.
+  auto report = RunKillRecoverCycle(opts);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->killed);
+  EXPECT_EQ(report->exit_code, 0);
+  // Clean shutdown: every successful commit was acked, so recovered
+  // marker values equal the ack counts exactly.
+  for (int t = 0; t < opts.threads; ++t) {
+    const ObjectId marker = opts.marker_base + static_cast<ObjectId>(t);
+    const auto it = report->recovery.store.find(marker);
+    const Value recovered = it == report->recovery.store.end() ? 0
+                                                               : it->second;
+    EXPECT_EQ(recovered,
+              static_cast<Value>(report->acked[static_cast<std::size_t>(t)]))
+        << "thread " << t;
+    EXPECT_EQ(report->recovery.undone_txns, 0u);
+  }
+  AuditRecovery(report->recovery, -1);
+}
+
+TEST(ProcessRecoveryTest, KillInsideOpenSequenceIsIdempotent) {
+  rnt::testing::TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  // Seed the directory with a raw killed workload (no recovery step
+  // afterwards): snapshotless WAL state with in-flight trees.
+  DurableWorkloadOptions opts;
+  opts.dir = dir.path();
+  opts.threads = 3;
+  opts.ops_per_thread = 100000;
+  opts.seed = 31;
+  opts.crash.after_ops = 25;
+  auto killed = RunInChild([&opts] { (void)RunDurableWorkload(opts); });
+  ASSERT_TRUE(killed.ok()) << killed.status();
+  ASSERT_EQ(*killed, SIGKILL);
+
+  auto reference = storage::Recover(storage::RecoveryOptions{dir.path(), {}});
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Kill 1: between the redo and undo phases. Recover is read-only, so
+  // the disk is untouched and re-recovery must be bit-identical.
+  auto sig = RunInChild([&dir] {
+    storage::RecoveryOptions ro;
+    ro.dir = dir.path();
+    ro.after_redo = [] { (void)::raise(SIGKILL); };
+    (void)storage::Recover(ro);
+  });
+  ASSERT_TRUE(sig.ok()) << sig.status();
+  EXPECT_EQ(*sig, SIGKILL);
+  auto after_redo_kill =
+      storage::Recover(storage::RecoveryOptions{dir.path(), {}});
+  ASSERT_TRUE(after_redo_kill.ok()) << after_redo_kill.status();
+  EXPECT_EQ(after_redo_kill->store, reference->store);
+  EXPECT_EQ(after_redo_kill->last_lsn, reference->last_lsn);
+
+  // Kill 2: inside DurableEngine::Open, after the fresh snapshot was
+  // renamed into place but before the WAL files were reset — the only
+  // window where a newer snapshot coexists with the full stale WAL.
+  // Stale-record skipping makes re-recovery land on the same store.
+  sig = RunInChild([&dir] {
+    storage::DurableEngineOptions o;
+    o.fsync = false;
+    o.between_snapshot_and_reset = [] { (void)::raise(SIGKILL); };
+    (void)storage::DurableEngine::Open(dir.path(), o);
+  });
+  ASSERT_TRUE(sig.ok()) << sig.status();
+  EXPECT_EQ(*sig, SIGKILL);
+  auto after_open_kill =
+      storage::Recover(storage::RecoveryOptions{dir.path(), {}});
+  ASSERT_TRUE(after_open_kill.ok()) << after_open_kill.status();
+  EXPECT_EQ(after_open_kill->store, reference->store);
+  EXPECT_EQ(after_open_kill->last_lsn, reference->last_lsn);
+  EXPECT_TRUE(after_open_kill->snapshot_loaded);
+  // Everything below the new snapshot horizon is stale now.
+  EXPECT_EQ(after_open_kill->redone_events, 0u);
+
+  // And a full, unkilled Open completes the sequence on the same state.
+  storage::DurableEngineOptions o;
+  o.fsync = false;
+  auto engine = storage::DurableEngine::Open(dir.path(), o);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ((*engine)->recovery().store, reference->store);
+}
+
+}  // namespace
+}  // namespace rnt::sim

@@ -1,0 +1,61 @@
+#ifndef RNT_TESTS_TEMP_DIR_H_
+#define RNT_TESTS_TEMP_DIR_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <dirent.h>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace rnt::testing {
+
+/// A self-cleaning temporary directory for storage tests. Created under
+/// $TMPDIR (or /tmp) via mkdtemp; recursively removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    const char* base = std::getenv("TMPDIR");
+    std::string tmpl = std::string(base != nullptr ? base : "/tmp") +
+                       "/rnt_storage_XXXXXX";
+    char buf[4096];
+    std::snprintf(buf, sizeof(buf), "%s", tmpl.c_str());
+    if (::mkdtemp(buf) != nullptr) path_ = buf;
+  }
+
+  ~TempDir() {
+    if (!path_.empty()) RemoveTree(path_);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+  bool ok() const { return !path_.empty(); }
+
+ private:
+  static void RemoveTree(const std::string& dir) {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return;
+    while (dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      const std::string full = dir + "/" + name;
+      struct stat st;
+      if (::lstat(full.c_str(), &st) != 0) continue;
+      if (S_ISDIR(st.st_mode)) {
+        RemoveTree(full);
+      } else {
+        (void)::unlink(full.c_str());
+      }
+    }
+    (void)::closedir(d);
+    (void)::rmdir(dir.c_str());
+  }
+
+  std::string path_;
+};
+
+}  // namespace rnt::testing
+
+#endif  // RNT_TESTS_TEMP_DIR_H_

@@ -1,0 +1,159 @@
+// Torn-write robustness (the failure taxonomy the recovery layer
+// promises): a WAL truncated mid-record is a torn tail — tolerated, the
+// partial record discarded — while a bit flip inside a fully present
+// record is kDataLoss with a precise diagnostic, never a silent replay
+// of damaged data.
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "storage/file_io.h"
+#include "storage/log_reader.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "temp_dir.h"
+
+namespace rnt::storage {
+namespace {
+
+/// Writes a single-worker WAL holding one committed transaction
+/// (begin/perform/commit = LSNs 1..3) and returns the file path.
+std::string WriteSimpleWal(const std::string& dir) {
+  WalOptions opts;
+  opts.dir = dir;
+  opts.workers = 1;
+  auto wal = Wal::Open(opts);
+  EXPECT_TRUE(wal.ok()) << wal.status();
+  (*wal)->Append({txn::TraceEvent::Kind::kBegin, 1, lock::kNoTxn, 0, {}, 0});
+  (*wal)->Append({txn::TraceEvent::Kind::kPerform, 2, 1, 5,
+                  action::Update::Write(33), 0});
+  (*wal)->Append({txn::TraceEvent::Kind::kCommit, 1, lock::kNoTxn, 0, {}, 0});
+  EXPECT_TRUE((*wal)->BarrierAll().ok());
+  return dir + "/" + WalFileName(0);
+}
+
+void TruncateFile(const std::string& path, std::size_t keep) {
+  ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(keep)), 0);
+}
+
+void FlipByte(const std::string& path, std::size_t offset) {
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_LT(offset, bytes->size());
+  (*bytes)[offset] = static_cast<char>((*bytes)[offset] ^ 0x40);
+  int fd = ::open(path.c_str(), O_WRONLY | O_TRUNC);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(WriteAll(fd, bytes->data(), bytes->size(), path).ok());
+  ASSERT_EQ(::close(fd), 0);
+}
+
+constexpr std::size_t kRecordSize = kWalHeaderSize + kWalPayloadSize;
+
+TEST(WalTornTest, TornTailMidRecordIsDiscarded) {
+  rnt::testing::TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  const std::string path = WriteSimpleWal(dir.path());
+  // Cut into the middle of the third record's payload.
+  TruncateFile(path, kWalMagicSize + 2 * kRecordSize + kWalHeaderSize + 7);
+
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_TRUE(contents->torn_tail);
+  ASSERT_EQ(contents->records.size(), 2u);  // commit record gone
+  EXPECT_EQ(contents->records[1].event.kind,
+            txn::TraceEvent::Kind::kPerform);
+
+  // Recovery treats the torn transaction as in-flight and rolls it
+  // back: the write of 33 must not reach the store.
+  auto report = Recover(RecoveryOptions{dir.path(), {}});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->torn_tails, 1u);
+  EXPECT_EQ(report->undone_txns, 1u);
+  EXPECT_EQ(report->store.count(5), 0u);
+}
+
+TEST(WalTornTest, TornTailInsideHeaderIsDiscarded) {
+  rnt::testing::TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  const std::string path = WriteSimpleWal(dir.path());
+  // Cut inside the third record's header (4 of 8 header bytes).
+  TruncateFile(path, kWalMagicSize + 2 * kRecordSize + 4);
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_TRUE(contents->torn_tail);
+  EXPECT_EQ(contents->records.size(), 2u);
+}
+
+TEST(WalTornTest, BitFlipInCommittedRecordIsDataLoss) {
+  rnt::testing::TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  const std::string path = WriteSimpleWal(dir.path());
+  // Flip a byte in the FIRST record's payload — mid-log, fully present.
+  FlipByte(path, kWalMagicSize + kWalHeaderSize + 10);
+
+  auto contents = ReadWalFile(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kDataLoss);
+  // Precise error: names the file, the offset, and the record index.
+  EXPECT_NE(contents.status().message().find(path), std::string::npos)
+      << contents.status();
+  EXPECT_NE(contents.status().message().find("CRC mismatch"),
+            std::string::npos)
+      << contents.status();
+
+  // Recovery propagates the hard failure: it must refuse to open.
+  auto report = Recover(RecoveryOptions{dir.path(), {}});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalTornTest, BitFlipInSizeFieldIsDataLoss) {
+  rnt::testing::TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  const std::string path = WriteSimpleWal(dir.path());
+  // Corrupt the size field of the first record (offset magic+4).
+  FlipByte(path, kWalMagicSize + 4);
+  auto contents = ReadWalFile(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalTornTest, CorruptSnapshotIsDataLoss) {
+  rnt::testing::TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  Snapshot snap;
+  snap.last_lsn = 5;
+  snap.store[1] = 2;
+  ASSERT_TRUE(WriteSnapshot(dir.path(), snap).ok());
+  FlipByte(dir.path() + "/" + SnapshotFileName(), 20);
+  auto loaded = ReadSnapshot(dir.path());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  // And recovery refuses likewise.
+  auto report = Recover(RecoveryOptions{dir.path(), {}});
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(WalTornTest, EmptyAndHeaderOnlyFilesAreTolerated) {
+  rnt::testing::TempDir dir;
+  ASSERT_TRUE(dir.ok());
+  const std::string path = WriteSimpleWal(dir.path());
+  TruncateFile(path, 0);  // crash before the magic write
+  auto contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_TRUE(contents->torn_tail);
+  EXPECT_TRUE(contents->records.empty());
+
+  TruncateFile(path, 3);  // partial magic
+  contents = ReadWalFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  EXPECT_TRUE(contents->torn_tail);
+}
+
+}  // namespace
+}  // namespace rnt::storage

@@ -1,0 +1,19 @@
+// lint-as: src/storage/fixture_io.cc
+// Fixture: fire-and-forget POSIX I/O in the durable layer must trip
+// [unchecked-io] — an ignored short write or failed fsync silently
+// downgrades "durable" to "probably durable": the WAL reports commit
+// while the bytes may be gone. A (void) cast is still a discard.
+#include <unistd.h>
+
+namespace rnt::storage {
+
+inline void BadAppend(int fd, const void* p, unsigned long n) {
+  ::write(fd, p, n);
+}
+
+inline void BadBarrier(int fd) {
+  (void)::fsync(fd);
+  fdatasync(fd);
+}
+
+}  // namespace rnt::storage

@@ -1,0 +1,25 @@
+// lint-as: src/storage/fixture_io_checked.cc
+// Fixture: the sanctioned shapes of durable-layer I/O — result assigned,
+// condition-tested, returned, or deliberately discarded behind a
+// justified per-line suppression. Must lint clean.
+#include <unistd.h>
+
+#include "common/status.h"
+
+namespace rnt::storage {
+
+inline Status CheckedAppend(int fd, const char* p, unsigned long n) {
+  const long wrote = ::write(fd, p, n);
+  if (wrote < 0 || static_cast<unsigned long>(wrote) != n) {
+    return Status::Internal("short write");
+  }
+  if (::fdatasync(fd) != 0) return Status::Internal("fdatasync failed");
+  return Status::Ok();
+}
+
+inline void BestEffortTelemetry(int fd) {
+  // Test-only ack byte; loss is acceptable and audited by the harness.
+  (void)::fsync(fd);  // rnt-lint: allow(unchecked-io)
+}
+
+}  // namespace rnt::storage

@@ -44,6 +44,13 @@ where the compiler cannot:
                        rnt::Mutex member must use GUARDED_BY / REQUIRES /
                        ACQUIRE somewhere: an unannotated mutex is opted
                        out of the analysis silently.
+  unchecked-io         write / pwrite / fsync / fdatasync with the result
+                       discarded, in the durable layer (src/storage). An
+                       ignored short write or failed sync silently
+                       downgrades "durable" to "probably durable": the
+                       WAL reports commit while the bytes may be gone.
+                       Consume the result (assign, test, return) or
+                       suppress per line where loss is provably benign.
 
 Suppression: append `// rnt-lint: allow(<rule>)` to the offending line,
 or put it alone on the line directly above. Suppressions should carry a
@@ -69,8 +76,9 @@ from typing import Callable, NamedTuple
 SOURCE_SUFFIXES = {".cc", ".h", ".cpp", ".hpp"}
 
 CONCURRENT_DIRS = ("src/lock", "src/txn", "src/sim", "src/faults",
-                   "src/baseline")
+                   "src/baseline", "src/storage")
 DETERMINISTIC_DIRS = ("src/sim", "src/dist")
+DURABLE_DIRS = ("src/storage",)
 
 # The sanctioned wrapper over the raw primitives.
 RAW_MUTEX_EXEMPT = {"src/common/mutex.h"}
@@ -192,6 +200,18 @@ POINTER_KEY_RE = re.compile(
 WALL_CLOCK_WAIT_RE = re.compile(
     r"(\b(sleep_for|sleep_until|wait_for|wait_until)\s*\(|steady_clock\b)")
 
+# The raw POSIX durability calls. The negative lookbehind rejects method
+# calls (`file.write`, `s->write`), identifiers that merely end in the
+# token (`WriteAll` never matches: capital W), and re-matching the bare
+# name inside an already-matched `::write`.
+UNCHECKED_IO_RE = re.compile(
+    r"(?<![\w.:>])(::\s*)?(write|pwrite|fsync|fdatasync)\s*\(")
+# What an immediately-preceding context must end with for the call's
+# result to count as consumed: an assignment, a return, an enclosing
+# call/condition, a comparison, or a logical operator.
+IO_CONSUMED_TAIL_RE = re.compile(
+    r"(=|\breturn|\(|,|!|&&|\|\||\?|:|==|!=|<|>)\s*$")
+
 NAKED_NEW_RE = re.compile(r"\bnew\b")
 NAKED_DELETE_RE = re.compile(r"\bdelete\b(\s*\[\s*\])?")
 SMART_WRAP_RE = re.compile(
@@ -259,6 +279,25 @@ def check_owning_new(code: str, prev_code: str = "") -> str | None:
     return None
 
 
+def check_unchecked_io(code: str, prev_code: str = "") -> str | None:
+    m = UNCHECKED_IO_RE.search(code)
+    if m is None:
+        return None
+    prefix = code[:m.start()].rstrip()
+    # Consumed on this line (`rc = ::fsync(fd)`, `if (::write(...) < 0)`),
+    # or on the previous line when the assignment wrapped.
+    if prefix:
+        if IO_CONSUMED_TAIL_RE.search(prefix):
+            return None
+    elif IO_CONSUMED_TAIL_RE.search(prev_code.rstrip()):
+        return None
+    call = m.group(2)
+    return (f"`{call}` with the result discarded in the durable layer; an "
+            "ignored short write or failed sync silently drops durability — "
+            "consume the result (assign/test/return a Status) or suppress "
+            "per line where loss is provably benign")
+
+
 RULES: list[Rule] = [
     Rule("raw-mutex",
          lambda rel: in_dirs(rel, CONCURRENT_DIRS) and
@@ -279,6 +318,9 @@ RULES: list[Rule] = [
     Rule("owning-new",
          lambda rel: in_dirs(rel, ("src",)),
          check_owning_new),
+    Rule("unchecked-io",
+         lambda rel: in_dirs(rel, DURABLE_DIRS),
+         check_unchecked_io),
 ]
 
 MUTEX_DECL_RE = re.compile(r"^\s*(mutable\s+)?(rnt::)?Mutex\s+\w+")
